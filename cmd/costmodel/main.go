@@ -1,0 +1,59 @@
+// Command costmodel prices interconnect designs for a given cluster size —
+// the interactive counterpart to Tables 2-3 and Figure 7.
+//
+// Usage:
+//
+//	costmodel -nodes 128
+//	costmodel -nodes 1024 -nodecost 3000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 128, "cluster size in nodes")
+		nodeCost = flag.Float64("nodecost", 0, "override compute-node price (0 = paper's $2500)")
+	)
+	flag.Parse()
+
+	prices := repro.Prices()
+	if *nodeCost > 0 {
+		prices.NodeCost = repro.USD(*nodeCost)
+	}
+
+	elan, err := repro.PriceElan(prices, *nodes)
+	fail(err)
+	ib96, err := repro.PriceIB(prices, *nodes, 96)
+	fail(err)
+	combo, err := repro.PriceIBCombo(prices, *nodes)
+	fail(err)
+
+	fmt.Printf("Interconnect pricing for %d nodes (node price $%.0f)\n\n", *nodes, float64(prices.NodeCost))
+	fmt.Printf("%-32s %12s %12s %14s\n", "design", "network $", "$/port", "system $/node")
+	for _, n := range []*repro.PricedNetwork{elan, ib96, combo} {
+		fmt.Printf("%-32s %12.0f %12.0f %14.0f\n",
+			n.Label, float64(n.NetworkTotal()), float64(n.PerPort()),
+			float64(n.SystemPerNode(prices.NodeCost)))
+	}
+	fmt.Println()
+	gap := func(ib *repro.PricedNetwork) float64 {
+		e := float64(elan.SystemPerNode(prices.NodeCost))
+		i := float64(ib.SystemPerNode(prices.NodeCost))
+		return (e/i - 1) * 100
+	}
+	fmt.Printf("Elan-4 total-system premium: %+.1f%% vs 96-port IB, %+.1f%% vs 24/288-port IB\n",
+		gap(ib96), gap(combo))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costmodel:", err)
+		os.Exit(1)
+	}
+}

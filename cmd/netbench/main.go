@@ -1,0 +1,83 @@
+// Command netbench runs the micro-benchmarks (ping-pong, streaming, b_eff)
+// on either simulated interconnect with custom parameters — the
+// interactive counterpart to the fixed Figure 1 experiment.
+//
+// Usage:
+//
+//	netbench -net elan -bench pingpong -max 4194304
+//	netbench -net ib   -bench streaming -window 32
+//	netbench -net elan -bench beff -ranks 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		netFlag = flag.String("net", "elan", "interconnect: elan | ib")
+		bench   = flag.String("bench", "pingpong", "benchmark: pingpong | streaming | beff")
+		maxSize = flag.Int64("max", 4<<20, "largest message size in bytes (pingpong/streaming)")
+		iters   = flag.Int("iters", 20, "iterations per size")
+		window  = flag.Int("window", 16, "messages in flight (streaming)")
+		ranks   = flag.Int("ranks", 8, "job size (beff)")
+		seed    = flag.Uint64("seed", 42, "random-pattern seed (beff)")
+	)
+	flag.Parse()
+
+	var network repro.Network
+	switch *netFlag {
+	case "elan":
+		network = repro.QuadricsElan4
+	case "ib":
+		network = repro.InfiniBand4X
+	default:
+		fmt.Fprintln(os.Stderr, "netbench: -net must be elan or ib")
+		os.Exit(2)
+	}
+
+	var sizes []repro.Bytes
+	for s := repro.Bytes(1); s <= repro.Bytes(*maxSize); s *= 2 {
+		sizes = append(sizes, s)
+	}
+
+	switch *bench {
+	case "pingpong":
+		pts, err := repro.PingPong(network, append([]repro.Bytes{0}, sizes...), *iters)
+		fail(err)
+		fmt.Printf("%-10s  %12s  %12s\n", "size", "latency(us)", "MB/s")
+		for _, p := range pts {
+			bw := "-"
+			if p.Bandwidth > 0 {
+				bw = fmt.Sprintf("%12.1f", p.Bandwidth.MBpsValue())
+			}
+			fmt.Printf("%-10s  %12.2f  %12s\n", p.Size, p.Latency.Microseconds(), bw)
+		}
+	case "streaming":
+		pts, err := repro.Streaming(network, sizes, *window, *iters)
+		fail(err)
+		fmt.Printf("%-10s  %12s\n", "size", "MB/s")
+		for _, p := range pts {
+			fmt.Printf("%-10s  %12.1f\n", p.Size, p.Bandwidth.MBpsValue())
+		}
+	case "beff":
+		res, err := repro.BEff(network, *ranks, *iters/4+1, *seed)
+		fail(err)
+		fmt.Printf("b_eff(%d ranks) = %.1f MB/s aggregate, %.1f MB/s per process\n",
+			res.Ranks, res.BEff.MBpsValue(), res.PerProcess.MBpsValue())
+	default:
+		fmt.Fprintln(os.Stderr, "netbench: unknown -bench")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Command repro regenerates the tables and figures of "A Comparison of 4X
+// InfiniBand and Quadrics Elan-4 Technologies" (CLUSTER 2004) from the
+// simulated platform.
+//
+// Usage:
+//
+//	repro -list
+//	repro -exp fig1a            # one experiment, full fidelity
+//	repro -exp all              # everything (minutes)
+//	repro -exp fig3 -quick      # fast, reduced sweep
+//	repro -exp fig7 -csv        # emit CSV instead of aligned tables
+//	repro -exp all -out results # also write one .txt/.csv per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		csv   = flag.Bool("csv", false, "emit CSV tables")
+		plot  = flag.Bool("plot", false, "append ASCII charts for numeric tables")
+		out   = flag.String("out", "", "directory to also write per-experiment files into")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "repro: -exp required (or -list); e.g. -exp fig1a or -exp all")
+		os.Exit(2)
+	}
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.Get(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	for _, e := range todo {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		var body string
+		if *csv {
+			var b strings.Builder
+			for _, t := range res.Tables {
+				b.WriteString(t.CSV())
+				b.WriteString("\n")
+			}
+			body = b.String()
+		} else {
+			body = res.String()
+			if *plot {
+				for _, tb := range res.Tables {
+					if c := report.ChartFromTable(tb, 64, 16, true); c != nil {
+						body += "\n" + tb.Title + "\n" + c.String()
+					}
+				}
+			}
+		}
+		fmt.Print(body)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			ext := ".txt"
+			if *csv {
+				ext = ".csv"
+			}
+			path := filepath.Join(*out, e.ID+ext)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The simulator is deterministic, so examples have exact outputs.
+
+// Build a two-node cluster on each interconnect and compare 0-byte MPI
+// latency — the paper's headline micro-benchmark.
+func Example_latency() {
+	for _, network := range repro.Networks {
+		pts, err := repro.PingPong(network, []repro.Bytes{0}, 20)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %.2f us\n", network, pts[0].Latency.Microseconds())
+	}
+	// Output:
+	// Quadrics Elan-4: 2.81 us
+	// 4X InfiniBand: 6.25 us
+}
+
+// Run a hand-written MPI program: a four-rank ring exchange with a final
+// reduction.
+func Example_ringProgram() {
+	cluster, err := repro.NewCluster(repro.QuadricsElan4, 4, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := cluster.Run(func(r *repro.Rank) {
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() + r.Size() - 1) % r.Size()
+		st := r.Sendrecv(next, 0, 4*repro.KiB, prev, 0)
+		if st.Src != prev {
+			panic("wrong source")
+		}
+		r.Allreduce(8)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ranks finished:", len(res.RankElapsed))
+	// Output:
+	// ranks finished: 4
+}
+
+// Split the world communicator into row groups, as NPB CG does.
+func Example_communicators() {
+	cluster, err := repro.NewCluster(repro.InfiniBand4X, 4, 1)
+	if err != nil {
+		panic(err)
+	}
+	sizes := make([]int, 4)
+	_, err = cluster.Run(func(r *repro.Rank) {
+		row := r.CommWorld().Split(r.ID()/2, r.ID()%2)
+		sizes[r.ID()] = row.Size()
+		row.Barrier()
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("row sizes:", sizes)
+	// Output:
+	// row sizes: [2 2 2 2]
+}
+
+// Price the interconnects for a 1024-node system (Figure 7's headline).
+func Example_cost() {
+	prices := repro.Prices()
+	elan, _ := repro.PriceElan(prices, 1024)
+	combo, _ := repro.PriceIBCombo(prices, 1024)
+	fmt.Printf("Elan-4: $%.0f/port, 24/288 IB: $%.0f/port\n",
+		float64(elan.PerPort()), float64(combo.PerPort()))
+	// Output:
+	// Elan-4: $4683/port, 24/288 IB: $2363/port
+}

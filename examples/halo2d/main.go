@@ -1,0 +1,108 @@
+// halo2d: a user-written application on the public API — a 2D Jacobi-style
+// stencil with halo exchange — swept across process counts on both
+// interconnects, printing time and parallel efficiency.
+//
+// This is the workload class the paper's introduction motivates: regular
+// nearest-neighbour exchange with a computation phase per iteration, run as
+// a fixed-size (strong-scaling) study.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	gridN      = 4096 // global N x N cells
+	iterations = 30
+	cellCost   = 6 * repro.Nanosecond // per-cell update
+	cellBytes  = 8                    // one double per boundary cell
+)
+
+// factor2 splits p into the most square px*py.
+func factor2(p int) (int, int) {
+	best := [2]int{p, 1}
+	for a := 1; a*a <= p; a++ {
+		if p%a == 0 {
+			best = [2]int{p / a, a}
+		}
+	}
+	return best[0], best[1]
+}
+
+func stencil(r *repro.Rank) {
+	px, py := factor2(r.Size())
+	x, y := r.ID()%px, r.ID()/px
+	nx, ny := gridN/px, gridN/py
+	work := repro.Duration(nx*ny) * cellCost
+
+	left, right := -1, -1
+	if x > 0 {
+		left = r.ID() - 1
+	}
+	if x < px-1 {
+		right = r.ID() + 1
+	}
+	down, up := -1, -1
+	if y > 0 {
+		down = r.ID() - px
+	}
+	if y < py-1 {
+		up = r.ID() + px
+	}
+
+	for it := 0; it < iterations; it++ {
+		var reqs []*repro.Request
+		for _, nbr := range []struct {
+			rank  int
+			bytes repro.Bytes
+		}{
+			{left, repro.Bytes(ny * cellBytes)},
+			{right, repro.Bytes(ny * cellBytes)},
+			{down, repro.Bytes(nx * cellBytes)},
+			{up, repro.Bytes(nx * cellBytes)},
+		} {
+			if nbr.rank < 0 {
+				continue
+			}
+			reqs = append(reqs, r.Irecv(nbr.rank, it))
+			reqs = append(reqs, r.Isend(nbr.rank, it, nbr.bytes))
+		}
+		r.Compute(work, 0.4)
+		r.Waitall(reqs...)
+		if it%10 == 9 {
+			r.Allreduce(8) // residual check
+		}
+	}
+}
+
+func main() {
+	fmt.Printf("2D stencil, %dx%d fixed grid, %d iterations (strong scaling)\n\n", gridN, gridN, iterations)
+	fmt.Printf("%-6s  %-26s  %-26s\n", "procs", "Quadrics Elan-4", "4X InfiniBand")
+	var base [2]float64
+	for pi, procs := range []int{1, 4, 16, 64} {
+		row := fmt.Sprintf("%-6d", procs)
+		for ni, network := range repro.Networks {
+			cluster, err := repro.NewCluster(network, procs, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := cluster.Run(stencil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			secs := res.Elapsed.Seconds()
+			if pi == 0 {
+				base[ni] = secs
+			}
+			eff := base[ni] / (float64(procs) * secs) * 100
+			row += fmt.Sprintf("  %10.4fs  eff %5.1f%%", secs, eff)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nThe fixed problem shrinks per-process work as P grows, so the")
+	fmt.Println("lower-latency, offloaded interconnect holds efficiency longer —")
+	fmt.Println("the same mechanism behind the paper's NAS CG result (Figure 6).")
+}

@@ -1,0 +1,59 @@
+// netdesign: a design-space exploration combining the performance model and
+// the cost model — for a range of cluster sizes, what does each
+// interconnect cost, and what effective bandwidth does a job of that size
+// get per dollar?
+//
+// This reproduces the paper's closing argument (Sections 5-6): raw
+// cost-per-port favours commodity InfiniBand switches; delivered
+// effective bandwidth favours Elan-4; whether the performance offsets the
+// price depends on how much the application resembles b_eff.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	prices := repro.Prices()
+	fmt.Println("Cluster design study: price vs delivered effective bandwidth (b_eff)")
+	fmt.Println()
+	fmt.Printf("%-6s  %-34s  %-34s\n", "nodes", "Quadrics Elan-4", "4X InfiniBand (24/288 switches)")
+	fmt.Printf("%-6s  %-12s %-10s %-10s  %-12s %-10s %-10s\n",
+		"", "net $/node", "beff/proc", "KB/s per $", "net $/node", "beff/proc", "KB/s per $")
+
+	for _, nodes := range []int{4, 8, 16, 32} {
+		elanNet, err := repro.PriceElan(prices, nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ibNet, err := repro.PriceIBCombo(prices, nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elanBeff, err := repro.BEff(repro.QuadricsElan4, nodes, 3, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ibBeff, err := repro.BEff(repro.InfiniBand4X, nodes, 3, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perDollar := func(beffMBps float64, netPerNode float64) float64 {
+			system := netPerNode + float64(prices.NodeCost)
+			return beffMBps * 1000 / system
+		}
+		eP := float64(elanNet.PerPort())
+		iP := float64(ibNet.PerPort())
+		eB := elanBeff.PerProcess.MBpsValue()
+		iB := ibBeff.PerProcess.MBpsValue()
+		fmt.Printf("%-6d  $%-11.0f %-10.1f %-10.2f  $%-11.0f %-10.1f %-10.2f\n",
+			nodes, eP, eB, perDollar(eB, eP), iP, iB, perDollar(iB, iP))
+	}
+	fmt.Println()
+	fmt.Println("Elan-4 delivers more effective bandwidth per process; commodity-switch")
+	fmt.Println("InfiniBand delivers more per dollar — the paper's cost-performance")
+	fmt.Println("tension in one table.")
+}

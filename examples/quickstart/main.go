@@ -1,0 +1,58 @@
+// Quickstart: build a two-node cluster on each interconnect, measure
+// ping-pong latency and bandwidth, and print a small comparison — the
+// "hello world" of this library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sizes := []repro.Bytes{0, 1 * repro.KiB, 8 * repro.KiB, 1 * repro.MiB}
+
+	fmt.Println("Two-node ping-pong, 2004-calibrated platform")
+	fmt.Println()
+	fmt.Printf("%-10s  %-22s  %-22s\n", "size", "Quadrics Elan-4", "4X InfiniBand")
+	for i, size := range sizes {
+		row := fmt.Sprintf("%-10s", size)
+		for _, network := range repro.Networks {
+			pts, err := repro.PingPong(network, []repro.Bytes{size}, 20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cell := fmt.Sprintf("%8.2f us", pts[0].Latency.Microseconds())
+			if size > 0 {
+				cell += fmt.Sprintf(" %8.0f MB/s", pts[0].Bandwidth.MBpsValue())
+			} else {
+				cell += "          (lat)"
+			}
+			row += "  " + cell
+		}
+		fmt.Println(row)
+		_ = i
+	}
+
+	fmt.Println()
+	fmt.Println("Now a hand-written MPI program: a 4-rank ring exchange.")
+	for _, network := range repro.Networks {
+		cluster, err := repro.NewCluster(network, 4, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cluster.Run(func(r *repro.Rank) {
+			next := (r.ID() + 1) % r.Size()
+			prev := (r.ID() + r.Size() - 1) % r.Size()
+			for i := 0; i < 10; i++ {
+				r.Sendrecv(next, 0, 64*repro.KiB, prev, 0)
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s 10 ring exchanges of 64 KiB: %v\n", network, res.Elapsed)
+	}
+}

@@ -1,0 +1,115 @@
+package jacobi
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+)
+
+func distributed(t *testing.T, net platform.Network, ranks, ppn int, p Problem) []float64 {
+	t.Helper()
+	m, err := platform.New(platform.Options{Network: net, Ranks: ranks, PPN: ppn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	_, err = m.Run(func(r *mpi.Rank) {
+		if sol := Solve(r, p); r.ID() == 0 {
+			out = sol
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The headline validation: the distributed solve over the simulated network
+// must equal the serial solve bit-for-bit (same arithmetic, same order per
+// point), on both interconnects, at several decompositions including
+// uneven ones and 2 PPN.
+func TestDistributedMatchesSerialExactly(t *testing.T) {
+	p := Default(200, 150)
+	want := p.SolveSerial()
+	for _, net := range platform.Networks {
+		for _, cfg := range []struct{ ranks, ppn int }{
+			{1, 1}, {2, 1}, {3, 1}, {7, 1}, {8, 2},
+		} {
+			got := distributed(t, net, cfg.ranks, cfg.ppn, p)
+			if diff := MaxAbsDiff(got, want); diff != 0 {
+				t.Errorf("%v ranks=%d ppn=%d: max |distributed-serial| = %g",
+					net, cfg.ranks, cfg.ppn, diff)
+			}
+		}
+	}
+}
+
+// And the numerics themselves converge toward the analytic solution.
+func TestConvergesTowardExact(t *testing.T) {
+	p := Default(32, 2500)
+	got := distributed(t, platform.QuadricsElan4, 4, 1, p)
+	var worst float64
+	for i := range got {
+		if d := got[i] - p.Exact(i); d > worst || -d > worst {
+			if d < 0 {
+				d = -d
+			}
+			worst = d
+		}
+	}
+	if worst > 5e-3 {
+		t.Fatalf("solution error %g after %d sweeps", worst, p.Sweeps)
+	}
+	// Against the DISCRETE limit (the converged linear-system solution,
+	// free of the O(h^2) discretization floor), more sweeps must help.
+	limit := Default(32, 40000).SolveSerial()
+	e2500 := MaxAbsDiff(got, limit)
+	p2 := Default(32, 5000)
+	got2 := distributed(t, platform.QuadricsElan4, 4, 1, p2)
+	e5000 := MaxAbsDiff(got2, limit)
+	if e5000 >= e2500 {
+		t.Fatalf("iteration error did not shrink: %g -> %g", e2500, e5000)
+	}
+}
+
+func TestPartitionCoversDomain(t *testing.T) {
+	p := Default(17, 1)
+	for size := 1; size <= 9; size++ {
+		covered := 0
+		prevHi := 0
+		for rank := 0; rank < size; rank++ {
+			lo, hi := p.partition(rank, size)
+			if lo != prevHi {
+				t.Fatalf("size %d rank %d: gap at %d", size, rank, lo)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != p.N {
+			t.Fatalf("size %d: covered %d of %d", size, covered, p.N)
+		}
+	}
+}
+
+func TestTimingReflectsNetwork(t *testing.T) {
+	// Same math, but the halo exchange is latency-bound: the IB run must
+	// take longer in simulated time while producing identical numbers.
+	p := Default(64, 400) // tiny blocks: communication dominated
+	times := map[platform.Network]float64{}
+	for _, net := range platform.Networks {
+		m, err := platform.New(platform.Options{Network: net, Ranks: 8, PPN: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(func(r *mpi.Rank) { Solve(r, p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[net] = res.Elapsed.Seconds()
+	}
+	if times[platform.InfiniBand4X] <= times[platform.QuadricsElan4] {
+		t.Fatalf("latency-bound solve should be slower on IB: %v vs %v",
+			times[platform.InfiniBand4X], times[platform.QuadricsElan4])
+	}
+}

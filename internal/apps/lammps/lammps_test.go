@@ -1,0 +1,163 @@
+package lammps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+func TestFactor3DExact(t *testing.T) {
+	cases := map[int]Grid3D{
+		1:  {1, 1, 1},
+		2:  {2, 1, 1},
+		8:  {2, 2, 2},
+		27: {3, 3, 3},
+		64: {4, 4, 4},
+	}
+	for p, want := range cases {
+		g := Factor3D(p)
+		if g.PX*g.PY*g.PZ != p {
+			t.Fatalf("Factor3D(%d) = %+v does not multiply out", p, g)
+		}
+		if p == want.PX*want.PY*want.PZ && (g.PX > want.PX*2 || g.PY > want.PY*2) {
+			t.Errorf("Factor3D(%d) = %+v, expected near-cubic %+v", p, g, want)
+		}
+	}
+}
+
+// Property: Factor3D always yields a valid factorization with PX >= PY >= PZ
+// ordering not required, but product exact.
+func TestFactor3DProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		p := int(raw)%128 + 1
+		g := Factor3D(p)
+		return g.PX*g.PY*g.PZ == p && g.PX >= 1 && g.PY >= 1 && g.PZ >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	g := Factor3D(24)
+	for rank := 0; rank < 24; rank++ {
+		nbr := g.Neighbors(rank)
+		for d, n := range nbr {
+			// My neighbour in direction d must see me in the opposite one.
+			back := g.Neighbors(n)[opposite(d)]
+			if back != rank {
+				t.Fatalf("rank %d dir %d -> %d, but back ref is %d", rank, d, n, back)
+			}
+		}
+	}
+}
+
+// shortLJS shrinks the problem so tests run fast while keeping structure.
+func shortLJS() Params {
+	p := LJS(6)
+	p.AtomsPerRank = 4000
+	p.ReneighborEvery = 3
+	p.ThermoEvery = 2
+	return p
+}
+
+// shortMembrane keeps the real problem's balance (full atom count, so the
+// comm-to-compute ratio matches the paper-scale runs) with fewer steps.
+func shortMembrane() Params {
+	p := Membrane(6)
+	p.ReneighborEvery = 3
+	return p
+}
+
+func runApp(t *testing.T, net platform.Network, ranks, ppn int, p Params) units.Duration {
+	t.Helper()
+	m, err := platform.New(platform.Options{Network: net, Ranks: ranks, PPN: ppn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(func(r *mpi.Rank) { Run(r, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Elapsed
+}
+
+func TestRunsOnBothNetworks(t *testing.T) {
+	for _, net := range platform.Networks {
+		for _, ranks := range []int{1, 2, 4, 8} {
+			if d := runApp(t, net, ranks, 1, shortLJS()); d <= 0 {
+				t.Fatalf("%v ranks=%d: no elapsed time", net, ranks)
+			}
+		}
+	}
+}
+
+func TestScaledProblemRoughlyFlat(t *testing.T) {
+	// Scaled speedup: time at 8 ranks should be within 2x of 1 rank
+	// (ideal: equal; communication adds overhead).
+	for _, net := range platform.Networks {
+		t1 := runApp(t, net, 1, 1, shortLJS())
+		t8 := runApp(t, net, 8, 1, shortLJS())
+		if t8 < t1 {
+			t.Fatalf("%v: 8-rank scaled run (%v) faster than 1-rank (%v)?", net, t8, t1)
+		}
+		if float64(t8) > 2*float64(t1) {
+			t.Fatalf("%v: scaled run not flat: %v -> %v", net, t1, t8)
+		}
+	}
+}
+
+func TestLJS2PPNSlowerThan1PPN(t *testing.T) {
+	// Figure 2: 1 PPN outperforms 2 PPN for both networks (memory-bound
+	// force kernel + shared NIC).
+	for _, net := range platform.Networks {
+		t1 := runApp(t, net, 8, 1, shortLJS())
+		t2 := runApp(t, net, 8, 2, shortLJS())
+		if t2 <= t1 {
+			t.Fatalf("%v: 2PPN (%v) should be slower than 1PPN (%v)", net, t2, t1)
+		}
+	}
+}
+
+func TestMembranePPNGapElanSmallerThanIB(t *testing.T) {
+	// Figure 3's signature at the paper's full 32-node scale: Elan-4's
+	// 1 PPN and 2 PPN curves nearly coincide (independent progress +
+	// overlap), InfiniBand's gap is wide.
+	gap := func(net platform.Network) float64 {
+		t1 := runApp(t, net, 32, 1, shortMembrane()) // 32 nodes
+		t2 := runApp(t, net, 64, 2, shortMembrane()) // 32 nodes, 2 PPN
+		return float64(t2)/float64(t1) - 1
+	}
+	elanGap := gap(platform.QuadricsElan4)
+	ibGap := gap(platform.InfiniBand4X)
+	t.Logf("membrane 2PPN gap: Elan %.1f%%, IB %.1f%%", elanGap*100, ibGap*100)
+	if elanGap >= ibGap {
+		t.Fatalf("Elan gap (%.2f) should be below IB gap (%.2f)", elanGap, ibGap)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := runApp(t, platform.QuadricsElan4, 4, 2, shortLJS())
+	b := runApp(t, platform.QuadricsElan4, 4, 2, shortLJS())
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestHaloBytesScalesWithAtoms(t *testing.T) {
+	small := LJS(1)
+	small.AtomsPerRank = 1000
+	big := LJS(1)
+	big.AtomsPerRank = 64000
+	if small.haloBytes() >= big.haloBytes() {
+		t.Fatal("halo should grow with atom count")
+	}
+	// Surface scaling: 64x atoms -> 16x surface.
+	ratio := float64(big.haloBytes()) / float64(small.haloBytes())
+	if ratio < 12 || ratio > 20 {
+		t.Fatalf("surface ratio = %.1f, want ~16", ratio)
+	}
+}

@@ -1,0 +1,137 @@
+// Package nascg is a communication-skeleton model of the NAS Parallel
+// Benchmarks Conjugate Gradient kernel (Bailey et al.), the paper's third
+// application benchmark (Figure 6).
+//
+// NPB CG solves an eigenvalue estimate of a sparse symmetric matrix with
+// the conjugate-gradient method. Processes form a power-of-two grid of
+// nprows x npcols (npcols = nprows or 2*nprows). Each inner CG iteration
+// performs a sparse matrix-vector product whose partial sums are reduced
+// across process rows in log2(npcols) pairwise exchanges, plus two scalar
+// dot-product reductions. Class A (n=14000) fits in cache at every process
+// count, so the benchmark is communication-dominated and latency-bound —
+// "the best scaling information" per the paper, because nothing hides the
+// network.
+package nascg
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/units"
+)
+
+// Class defines an NPB problem class.
+type Class struct {
+	Name    string
+	N       int     // matrix order
+	NonZer  int     // nonzeros per row parameter
+	OuterIt int     // outer iterations (NPB "niter")
+	InnerIt int     // CG iterations per outer step (25 in NPB)
+	TotalOp float64 // total floating-point operations (for MOps/s reporting)
+}
+
+// Standard NPB CG classes (operation counts from the NPB reports).
+var (
+	ClassS = Class{Name: "S", N: 1400, NonZer: 7, OuterIt: 15, InnerIt: 25, TotalOp: 6.69e7}
+	ClassA = Class{Name: "A", N: 14000, NonZer: 11, OuterIt: 15, InnerIt: 25, TotalOp: 1.508e9}
+	ClassB = Class{Name: "B", N: 75000, NonZer: 13, OuterIt: 75, InnerIt: 25, TotalOp: 5.47e10}
+)
+
+// Params defines a CG skeleton run.
+type Params struct {
+	Class Class
+	// FlopRate is the per-process sustained compute rate on this kernel
+	// (cache-resident class A sustains a high fraction of peak).
+	FlopRate float64 // flops per second
+	// MemIntensity is low for cache-resident classes.
+	MemIntensity float64
+}
+
+// Default returns the paper's configuration: class A, tuned so a single
+// 3.06 GHz Xeon sustains ~250 MFLOP/s on the kernel.
+func Default(class Class) Params {
+	return Params{Class: class, FlopRate: 250e6, MemIntensity: 0.12}
+}
+
+// Grid describes the NPB CG process grid.
+type Grid struct {
+	NProws, NPcols int
+}
+
+// GridFor returns the NPB CG grid for p processes. p must be a power of
+// two: npcols = nprows for even log2(p), else npcols = 2*nprows.
+func GridFor(p int) (Grid, error) {
+	if p < 1 || p&(p-1) != 0 {
+		return Grid{}, fmt.Errorf("nascg: process count %d is not a power of two", p)
+	}
+	log := 0
+	for 1<<log < p {
+		log++
+	}
+	nprows := 1 << (log / 2)
+	return Grid{NProws: nprows, NPcols: p / nprows}, nil
+}
+
+// Run executes the skeleton on one rank. The process count must be a power
+// of two (as NPB requires).
+func Run(r *mpi.Rank, p Params) {
+	g, err := GridFor(r.Size())
+	if err != nil {
+		panic(err)
+	}
+	me := r.ID()
+
+	// NPB CG communicates within process rows; build the row communicator
+	// the way the reference code builds comm_proc_row.
+	row := r.CommWorld().Split(me/g.NPcols, me%g.NPcols)
+
+	c := p.Class
+	// Per-iteration compute: matvec dominates; 2*nnz flops plus vector ops.
+	nnz := float64(c.N) * float64(c.NonZer) * float64(c.NonZer+1)
+	flopsPerInner := 2*nnz + 10*float64(c.N)
+	computePerInner := units.FromSeconds(flopsPerInner / p.FlopRate / float64(r.Size()))
+
+	// Row-reduction exchange size: the partial result vector segment.
+	segBytes := units.Bytes(c.N/g.NProws) * 8
+
+	l2npcols := 0
+	for 1<<l2npcols < g.NPcols {
+		l2npcols++
+	}
+
+	for outer := 0; outer < c.OuterIt; outer++ {
+		for inner := 0; inner < c.InnerIt; inner++ {
+			// Sparse matvec.
+			r.Compute(computePerInner, p.MemIntensity)
+			// Sum-reduce partial results across the process row:
+			// log2(npcols) pairwise exchanges of shrinking segments.
+			seg := segBytes
+			for k := 0; k < l2npcols; k++ {
+				peer := row.Rank() ^ (1 << k)
+				row.Sendrecv(peer, 300+k, seg, peer, 300+k)
+				r.Compute(units.FromSeconds(float64(seg/8)*2/p.FlopRate), p.MemIntensity)
+				if seg > 16 {
+					seg /= 2
+				}
+			}
+			// Two scalar dot products per CG iteration: reductions across
+			// the process row (8-byte exchanges).
+			for dot := 0; dot < 2; dot++ {
+				for k := 0; k < l2npcols; k++ {
+					peer := row.Rank() ^ (1 << k)
+					row.Sendrecv(peer, 320+dot*8+k, 8, peer, 320+dot*8+k)
+				}
+			}
+		}
+		// Residual norm across all processes (outer convergence check).
+		r.Allreduce(8)
+	}
+}
+
+// MOpsPerProcess converts a run time to the NPB metric of Figure 6(a).
+func (p *Params) MOpsPerProcess(elapsed units.Duration, ranks int) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return p.Class.TotalOp / elapsed.Seconds() / 1e6 / float64(ranks)
+}

@@ -1,0 +1,114 @@
+package nascg
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+func TestGridFor(t *testing.T) {
+	cases := map[int][2]int{
+		1:  {1, 1},
+		2:  {1, 2},
+		4:  {2, 2},
+		8:  {2, 4},
+		16: {4, 4},
+		32: {4, 8},
+		64: {8, 8},
+	}
+	for p, want := range cases {
+		g, err := GridFor(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NProws != want[0] || g.NPcols != want[1] {
+			t.Errorf("GridFor(%d) = %+v, want %v", p, g, want)
+		}
+	}
+	if _, err := GridFor(6); err == nil {
+		t.Fatal("non-power-of-two should error")
+	}
+	if _, err := GridFor(0); err == nil {
+		t.Fatal("zero should error")
+	}
+}
+
+// shortClass keeps the structure of class S with fewer iterations.
+func shortClass() Params {
+	p := Default(ClassS)
+	p.Class.OuterIt = 3
+	p.Class.InnerIt = 6
+	return p
+}
+
+func run(t *testing.T, net platform.Network, ranks, ppn int, p Params) units.Duration {
+	t.Helper()
+	m, err := platform.New(platform.Options{Network: net, Ranks: ranks, PPN: ppn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(func(r *mpi.Rank) { Run(r, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Elapsed
+}
+
+func TestRunsOnBothNetworks(t *testing.T) {
+	for _, net := range platform.Networks {
+		for _, ranks := range []int{1, 2, 4, 8} {
+			if d := run(t, net, ranks, 1, shortClass()); d <= 0 {
+				t.Fatalf("%v ranks=%d: no time", net, ranks)
+			}
+		}
+	}
+}
+
+func TestEfficiencyDropsWithScale(t *testing.T) {
+	// Fixed problem, communication-dominated: efficiency must fall
+	// noticeably with process count for both networks (Figure 6).
+	for _, net := range platform.Networks {
+		t1 := run(t, net, 1, 1, shortClass())
+		t16 := run(t, net, 16, 1, shortClass())
+		eff := float64(t1) / (16 * float64(t16))
+		t.Logf("%s: efficiency at 16 ranks %.2f", net.Short(), eff)
+		if eff > 0.9 {
+			t.Errorf("%v: class-S CG at 16 ranks should not be near-ideal (%.2f)", net, eff)
+		}
+		if eff <= 0.02 {
+			t.Errorf("%v: efficiency collapsed entirely (%.3f)", net, eff)
+		}
+	}
+}
+
+func TestQuadricsAdvantage(t *testing.T) {
+	// Figure 6: Quadrics maintains a distinct advantage that grows with
+	// node count.
+	adv := func(ranks int) float64 {
+		el := run(t, platform.QuadricsElan4, ranks, 1, shortClass())
+		ib := run(t, platform.InfiniBand4X, ranks, 1, shortClass())
+		return float64(ib) / float64(el)
+	}
+	a4, a16 := adv(4), adv(16)
+	t.Logf("IB/Elan time ratio: 4 ranks %.2f, 16 ranks %.2f", a4, a16)
+	if a4 <= 1.0 {
+		t.Errorf("Elan should lead at 4 ranks (ratio %.2f)", a4)
+	}
+	if a16 <= 1.0 {
+		t.Errorf("Elan should lead at 16 ranks (ratio %.2f)", a16)
+	}
+}
+
+func TestMOpsMetric(t *testing.T) {
+	p := Default(ClassA)
+	m := p.MOpsPerProcess(units.Duration(6*units.Second), 1)
+	// ~1.5e9 ops in 6 s = ~250 MOps/s.
+	if m < 200 || m > 300 {
+		t.Fatalf("MOps = %.0f, want ~250", m)
+	}
+	if p.MOpsPerProcess(0, 1) != 0 {
+		t.Fatal("zero time should yield zero MOps")
+	}
+}

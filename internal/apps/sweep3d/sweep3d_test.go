@@ -1,0 +1,141 @@
+package sweep3d
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+func TestFactor2D(t *testing.T) {
+	cases := map[int][2]int{
+		1:  {1, 1},
+		4:  {2, 2},
+		9:  {3, 3},
+		16: {4, 4},
+		25: {5, 5},
+		6:  {3, 2},
+	}
+	for p, want := range cases {
+		g := Factor2D(p)
+		if g.PX*g.PY != p {
+			t.Fatalf("Factor2D(%d) = %+v", p, g)
+		}
+		if g.PX != want[0] || g.PY != want[1] {
+			t.Errorf("Factor2D(%d) = %+v, want %v", p, g, want)
+		}
+	}
+}
+
+func TestFactor2DProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		p := int(raw)%256 + 1
+		g := Factor2D(p)
+		return g.PX*g.PY == p && g.PX >= g.PY
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockSizeSumsToTotal(t *testing.T) {
+	for _, n := range []int{150, 128, 160, 7} {
+		for parts := 1; parts <= 8; parts++ {
+			sum := 0
+			for i := 0; i < parts; i++ {
+				sum += blockSize(n, parts, i)
+			}
+			if sum != n {
+				t.Fatalf("blockSize(%d,%d) sums to %d", n, parts, sum)
+			}
+		}
+	}
+}
+
+func TestDivisibilityImbalance(t *testing.T) {
+	// 150 divides by 5 but not 4 — the Figure 4/5 anomaly mechanism.
+	if blockSize(150, 5, 0) != blockSize(150, 5, 4) {
+		t.Fatal("5-way split of 150 should be balanced")
+	}
+	if blockSize(150, 4, 0) == blockSize(150, 4, 3) {
+		t.Fatal("4-way split of 150 should be imbalanced")
+	}
+}
+
+// short returns a scaled-down problem that keeps the structure.
+func short(n int) Params {
+	p := Default(n)
+	p.Iterations = 2
+	p.MK = 10
+	return p
+}
+
+func run(t *testing.T, net platform.Network, ranks int, p Params) units.Duration {
+	t.Helper()
+	m, err := platform.New(platform.Options{Network: net, Ranks: ranks, PPN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(func(r *mpi.Rank) { Run(r, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Elapsed
+}
+
+func TestRunsOnBothNetworks(t *testing.T) {
+	for _, net := range platform.Networks {
+		for _, ranks := range []int{1, 4, 9} {
+			if d := run(t, net, ranks, short(60)); d <= 0 {
+				t.Fatalf("%v ranks=%d: no time", net, ranks)
+			}
+		}
+	}
+}
+
+func TestSuperlinearRegion(t *testing.T) {
+	// Fixed problem: speedup from 1 to 4 should exceed 4x thanks to the
+	// cache model (the paper's superlinear observation).
+	p := short(96)
+	t1 := run(t, platform.QuadricsElan4, 1, p)
+	t4 := run(t, platform.QuadricsElan4, 4, p)
+	speedup := float64(t1) / float64(t4)
+	t.Logf("1->4 speedup: %.2f", speedup)
+	if speedup < 4.0 {
+		t.Fatalf("speedup %.2f, want superlinear (>4)", speedup)
+	}
+}
+
+func TestImbalancedDecompositionSlower(t *testing.T) {
+	// Per-cell grind should be worse on 16 ranks (150/4 uneven) than on 25
+	// ranks (150/5 even), normalized for work.
+	p := short(150)
+	g16 := p.GrindTime(run(t, platform.QuadricsElan4, 16, p), 16)
+	g25 := p.GrindTime(run(t, platform.QuadricsElan4, 25, p), 25)
+	t.Logf("grind: 16 ranks %.1f ns, 25 ranks %.1f ns", g16, g25)
+	if g25 >= g16 {
+		t.Fatalf("25-rank grind (%.2f) should beat imbalanced 16-rank (%.2f)", g25, g16)
+	}
+}
+
+func TestElanFasterAtScale(t *testing.T) {
+	p := short(96)
+	el := run(t, platform.QuadricsElan4, 16, p)
+	ib := run(t, platform.InfiniBand4X, 16, p)
+	t.Logf("16 ranks: Elan %v, IB %v", el, ib)
+	if el >= ib {
+		t.Fatalf("Elan (%v) should beat IB (%v) on the wavefront", el, ib)
+	}
+}
+
+func TestGrindTimePositive(t *testing.T) {
+	p := Default(150)
+	if g := p.GrindTime(units.Duration(10*units.Second), 4); g <= 0 {
+		t.Fatal("grind time should be positive")
+	}
+	if ws := p.WorkingSetMiB(1); ws <= p.WorkingSetMiB(25) {
+		t.Fatal("working set should shrink with ranks")
+	}
+}

@@ -1,0 +1,169 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestElanSmallSystem(t *testing.T) {
+	p := April2004()
+	n, err := ElanNetwork(p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 nodes: one 64-port chassis, 32 adapters, 32 cables, clock.
+	wantSwitches := USD(93000)
+	if n.Switches != wantSwitches {
+		t.Fatalf("switches = %v, want %v", n.Switches, wantSwitches)
+	}
+	if n.NICs != 32*1995 || n.Fixed != 1800 {
+		t.Fatalf("nics=%v fixed=%v", n.NICs, n.Fixed)
+	}
+}
+
+func TestElanFederatedAboveChassis(t *testing.T) {
+	p := April2004()
+	small, _ := ElanNetwork(p, 64)
+	big, err := ElanNetwork(p, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Switches <= small.Switches {
+		t.Fatal("federation above 64 nodes should add top-level chassis")
+	}
+	// 128 nodes: 2 leaves (64 up-links each) + 1 top-level chassis.
+	want := 2*USD(93000) + USD(110500)
+	if big.Switches != want {
+		t.Fatalf("switches = %v, want %v", big.Switches, want)
+	}
+}
+
+func TestIBSingleSwitch(t *testing.T) {
+	p := April2004()
+	n, err := IBNetwork(p, 96, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches != p.IBSwitch96.Price {
+		t.Fatalf("switches = %v", n.Switches)
+	}
+	if n.Cables != 96*175 {
+		t.Fatalf("cables = %v", n.Cables)
+	}
+}
+
+func TestComboPicksCheapest(t *testing.T) {
+	p := April2004()
+	for _, nodes := range []int{16, 100, 288, 1024} {
+		combo, err := IBComboNetwork(p, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ib24, _ := IBNetwork(p, nodes, 24)
+		if combo.NetworkTotal() > ib24.NetworkTotal() {
+			t.Fatalf("nodes=%d: combo (%v) worse than 24-only (%v)",
+				nodes, combo.NetworkTotal(), ib24.NetworkTotal())
+		}
+	}
+}
+
+// The headline anchors: Elan vs IB-96 total system gap small (~4%), vs
+// 24/288 combination large (~45-60%).
+func TestAnchorSystemGaps(t *testing.T) {
+	p := April2004()
+	const nodes = 1024
+	ib96, err := IBNetwork(p, nodes, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combo, err := IBComboNetwork(p, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap96, err := SystemGapPercent(p, nodes, ib96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapCombo, err := SystemGapPercent(p, nodes, combo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("at %d nodes: Elan vs IB-96 gap %.1f%%, vs 24/288 gap %.1f%%", nodes, gap96, gapCombo)
+	if gap96 < 0 || gap96 > 15 {
+		t.Errorf("Elan vs IB-96 system gap %.1f%%, want ~4%% (0-15)", gap96)
+	}
+	if gapCombo < 35 || gapCombo > 65 {
+		t.Errorf("Elan vs IB-24/288 system gap %.1f%%, want ~51%% (35-65)", gapCombo)
+	}
+}
+
+func TestAnchorElanCompetitiveWith96Port(t *testing.T) {
+	p := April2004()
+	pts, err := Figure7(p, []int{256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		elan := pt.PerPort["Quadrics Elan-4"]
+		ib96 := pt.PerPort["4X InfiniBand (96-port)"]
+		combo := pt.PerPort["4X InfiniBand (24/288-port)"]
+		ratio96 := float64(elan) / float64(ib96)
+		t.Logf("%d nodes: Elan $%.0f, IB96 $%.0f, combo $%.0f", pt.Nodes, elan, ib96, combo)
+		if ratio96 < 0.9 || ratio96 > 1.35 {
+			t.Errorf("nodes=%d: Elan/IB96 per-port ratio %.2f not comparable", pt.Nodes, ratio96)
+		}
+		if float64(combo) > 0.65*float64(elan) {
+			t.Errorf("nodes=%d: combo ($%.0f) should be dramatically cheaper than Elan ($%.0f)",
+				pt.Nodes, combo, elan)
+		}
+	}
+}
+
+func TestFigure7Monotonicity(t *testing.T) {
+	// Per-port cost should broadly decrease or flatten as systems grow for
+	// single-switch designs until the switch is full, then jump.
+	p := April2004()
+	pts, err := Figure7(p, Figure7Sizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Figure7Sizes()) {
+		t.Fatal("missing points")
+	}
+	for _, pt := range pts {
+		for _, label := range CurveLabels {
+			if pt.PerPort[label] <= 0 {
+				t.Fatalf("nodes=%d %s: non-positive price", pt.Nodes, label)
+			}
+		}
+	}
+}
+
+// Property: network totals scale superlinearly-at-worst and every
+// component is non-negative.
+func TestNetworkComponentsProperty(t *testing.T) {
+	p := April2004()
+	f := func(raw uint16) bool {
+		nodes := int(raw)%2000 + 1
+		elan, err := ElanNetwork(p, nodes)
+		if err != nil {
+			return false
+		}
+		combo, err := IBComboNetwork(p, nodes)
+		if err != nil {
+			return false
+		}
+		for _, n := range []*Network{elan, combo} {
+			if n.Switches < 0 || n.Cables < 0 || n.NICs < 0 || n.Fixed < 0 {
+				return false
+			}
+			if n.PerPort() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

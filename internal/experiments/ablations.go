@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/loggp"
+	"repro/internal/microbench"
+	"repro/internal/mpi"
+	"repro/internal/mpi/mvib"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+func init() {
+	register("xreg", "Extension: registration-cache ablation (Section 3.3.2)", runXReg)
+	register("xoverlap", "Extension: overlap / independent-progress ablation (Sections 3.3.3, 3.3.5)", runXOverlap)
+}
+
+// secondsToDuration converts runSeries output back to simulated duration.
+func secondsToDuration(s float64) units.Duration { return units.FromSeconds(s) }
+
+// pingPongOneWay measures average one-way time for `size` on a machine.
+func pingPongOneWay(m *platform.Machine, size units.Bytes, iters int) (units.Duration, error) {
+	var span units.Duration
+	_, err := m.Run(func(r *mpi.Rank) {
+		start := r.Now()
+		for i := 0; i < iters; i++ {
+			if r.ID() == 0 {
+				r.Send(1, 0, size)
+				r.Recv(1, 1)
+			} else {
+				r.Recv(0, 0)
+				r.Send(0, 1, size)
+			}
+		}
+		if r.ID() == 0 {
+			span = r.Now().Sub(start) / units.Duration(2*iters)
+		}
+	})
+	return span, err
+}
+
+// runXReg reproduces the buffer-reuse discussion of Section 3.3.2: the
+// paper notes no in-depth comparison existed of explicit host registration
+// (IB) vs NIC-MMU translation (Quadrics). We sweep the pin-down cache
+// capacity and report the large-message ping-pong bandwidth, showing how
+// the 4 MB collapse appears and disappears.
+func runXReg(o Options) (*Result, error) {
+	iters := 6
+	if o.Quick {
+		iters = 2
+	}
+	sizes := []units.Bytes{1 * units.MiB, 2 * units.MiB, 4 * units.MiB}
+	caps := []units.Bytes{0, 7 * units.MiB, 64 * units.MiB}
+	capLabel := func(c units.Bytes) string {
+		if c == 0 {
+			return "no cache (register every transfer)"
+		}
+		return fmt.Sprintf("cache %v", c)
+	}
+	r := &Result{ID: "xreg", Title: "InfiniBand ping-pong bandwidth vs pin-down cache capacity"}
+	headers := []string{"size"}
+	for _, c := range caps {
+		headers = append(headers, capLabel(c)+" MB/s")
+	}
+	headers = append(headers, "Elan4 (no registration) MB/s")
+	t := newTable("Extension X-2", headers...)
+
+	rows := make([][]interface{}, len(sizes))
+	for i, size := range sizes {
+		rows[i] = []interface{}{fmtBytes(size)}
+	}
+	for _, c := range caps {
+		c := c
+		m, err := platform.New(platform.Options{
+			Network: platform.InfiniBand4X, Ranks: 2, PPN: 1,
+			TuneIB: func(hp *ib.Params, _ *mvib.Params) {
+				if c == 0 {
+					hp.RegCacheCap = 1 // effectively uncacheable
+				} else {
+					hp.RegCacheCap = c
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, size := range sizes {
+			oneWay, err := pingPongOneWay(m, size, iters)
+			if err != nil {
+				return nil, err
+			}
+			rows[i] = append(rows[i], units.RateOver(size, oneWay).MBpsValue())
+		}
+	}
+	elan, err := platform.New(platform.Options{Network: platform.QuadricsElan4, Ranks: 2, PPN: 1})
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		oneWay, err := pingPongOneWay(elan, size, iters)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = append(rows[i], units.RateOver(size, oneWay).MBpsValue())
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"with the era-default 7 MiB pin-down limit, two 4 MiB ping-pong buffers thrash (the Figure 1(b) collapse); a large cache removes it; no cache at all is uniformly slow")
+	return r, nil
+}
+
+// runXOverlap quantifies the overlap benefit the paper argues for: post
+// Irecv/Isend, compute for a fixed interval, then wait. Reported is the
+// total time relative to pure compute — an ideal overlapping stack scores
+// ~1.0; a no-independent-progress stack pays the transfer on top.
+func runXOverlap(o Options) (*Result, error) {
+	compute := 20 * units.Millisecond
+	if o.Quick {
+		compute = 5 * units.Millisecond
+	}
+	sizes := []units.Bytes{64 * units.KiB, 512 * units.KiB, 2 * units.MiB}
+	r := &Result{ID: "xoverlap", Title: "Overlap capability: (post, compute, wait) total time / compute time"}
+	t := newTable("Extension X-3", "size", "Elan4 ratio", "IB ratio")
+	for _, size := range sizes {
+		row := []interface{}{fmtBytes(size)}
+		for _, net := range platform.Networks {
+			m, err := platform.New(platform.Options{Network: net, Ranks: 2, PPN: 1})
+			if err != nil {
+				return nil, err
+			}
+			var total units.Duration
+			_, err = m.Run(func(rk *mpi.Rank) {
+				peer := 1 - rk.ID()
+				start := rk.Now()
+				rreq := rk.Irecv(peer, 0)
+				sreq := rk.Isend(peer, 0, size)
+				rk.Compute(compute, 0)
+				rk.Wait(sreq)
+				rk.Wait(rreq)
+				if rk.ID() == 0 {
+					total = rk.Now().Sub(start)
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, float64(total)/float64(compute))
+		}
+		t.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"Quadrics' NIC completes the exchange during the compute interval (ratio ~1); MVAPICH's rendezvous cannot start until both hosts re-enter MPI, so the transfer serializes after compute (cf. Brightwell & Underwood, ICS'04)")
+	return r, nil
+}
+
+func init() {
+	register("xloggp", "Extension: LogGP decomposition of both interconnects (Section 7)", runXLogGP)
+}
+
+// runXLogGP reduces each network to its LogGP parameters and validates the
+// model against simulated ping-pong — the "new techniques to study the
+// exact source of differences" the paper's future work calls for.
+func runXLogGP(o Options) (*Result, error) {
+	r := &Result{ID: "xloggp", Title: "LogGP parameters extracted from each simulated interconnect"}
+	t := newTable("Extension X-4", "network", "L (wire+NIC)", "o (host/msg)", "g (msg gap)", "G (ns/byte)", "1/G MB/s")
+	var fitted []*loggp.Params
+	for _, net := range platform.Networks {
+		p, err := loggp.Measure(net)
+		if err != nil {
+			return nil, err
+		}
+		fitted = append(fitted, p)
+		t.AddRow(net.Short(), fmt.Sprint(p.L), fmt.Sprint(p.O), fmt.Sprint(p.Gap),
+			p.G.Nanoseconds(), 1e3/p.G.Nanoseconds())
+	}
+	r.Tables = append(r.Tables, t)
+
+	v := newTable("LogGP prediction vs simulation (one-way us)", "size", "Elan4 pred", "Elan4 sim", "IB pred", "IB sim")
+	sizes := []units.Bytes{0, 256, 1 * units.KiB}
+	iters := 10
+	if o.Quick {
+		iters = 3
+	}
+	elPP, err := microbench.PingPong(platform.QuadricsElan4, sizes, iters)
+	if err != nil {
+		return nil, err
+	}
+	ibPP, err := microbench.PingPong(platform.InfiniBand4X, sizes, iters)
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		v.AddRow(fmtBytes(size),
+			fitted[0].PredictLatency(size).Microseconds(), elPP[i].Latency.Microseconds(),
+			fitted[1].PredictLatency(size).Microseconds(), ibPP[i].Latency.Microseconds())
+	}
+	r.Tables = append(r.Tables, v)
+	r.Notes = append(r.Notes,
+		"Section 3's architecture contrasts as four numbers: offload halves o, the NIC pipeline halves L, and independent hardware engines cut g by ~4x; G is PCI-X-bound for both")
+	return r, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+func init() {
+	register("table2", "4X InfiniBand list prices (Table 2)", runTable2)
+	register("table3", "Quadrics Elan-4 list prices (Table 3)", runTable3)
+	register("fig7", "Network cost per port vs system size (Figure 7)", runFig7)
+}
+
+func priceRow(t interface{ AddRow(...interface{}) }, it cost.Item) {
+	note := ""
+	if it.Assumed {
+		note = "assumed (not preserved in the source scan)"
+	}
+	t.AddRow(it.Name, fmt.Sprintf("$%.0f", float64(it.Price)), note)
+}
+
+func runTable2(Options) (*Result, error) {
+	p := cost.April2004()
+	r := &Result{ID: "table2", Title: "4X InfiniBand component list prices (April 2004)"}
+	t := newTable("Table 2", "component", "list price", "provenance")
+	for _, it := range []cost.Item{p.IBHCA, p.IBCable, p.IBSwitch24, p.IBSwitch96, p.IBSwitch288} {
+		priceRow(t, it)
+	}
+	r.Tables = append(r.Tables, t)
+	return r, nil
+}
+
+func runTable3(Options) (*Result, error) {
+	p := cost.April2004()
+	r := &Result{ID: "table3", Title: "Quadrics Elan-4 component list prices"}
+	t := newTable("Table 3", "component", "list price", "provenance")
+	for _, it := range []cost.Item{p.ElanAdapter, p.ElanCable, p.ElanNodeLevel, p.ElanTopLevel, p.ElanClock} {
+		priceRow(t, it)
+	}
+	r.Tables = append(r.Tables, t)
+	return r, nil
+}
+
+func runFig7(o Options) (*Result, error) {
+	p := cost.April2004()
+	sizes := cost.Figure7Sizes()
+	if o.Quick {
+		sizes = []int{32, 128, 1024}
+	}
+	pts, err := cost.Figure7(p, sizes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig7", Title: "Interconnect cost per port (NIC + switches + cables)"}
+	headers := append([]string{"nodes"}, cost.CurveLabels...)
+	t := newTable("Figure 7", headers...)
+	for _, pt := range pts {
+		row := []interface{}{pt.Nodes}
+		for _, label := range cost.CurveLabels {
+			row = append(row, fmt.Sprintf("$%.0f", float64(pt.PerPort[label])))
+		}
+		t.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, t)
+
+	// The headline totals with a $2,500 node.
+	const nodes = 1024
+	ib96, err := cost.IBNetwork(p, nodes, 96)
+	if err != nil {
+		return nil, err
+	}
+	combo, err := cost.IBComboNetwork(p, nodes)
+	if err != nil {
+		return nil, err
+	}
+	gap96, err := cost.SystemGapPercent(p, nodes, ib96)
+	if err != nil {
+		return nil, err
+	}
+	gapCombo, err := cost.SystemGapPercent(p, nodes, combo)
+	if err != nil {
+		return nil, err
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"total-system (incl. $2500 node) Elan-4 premium at %d nodes: %.1f%% vs 96-port IB, %.1f%% vs 24/288-port IB (paper: ~4%% and ~51%%)",
+		nodes, gap96, gapCombo))
+	return r, nil
+}

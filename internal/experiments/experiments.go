@@ -1,0 +1,160 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, plus extension experiments beyond it. Each driver
+// runs the necessary simulations and renders the same rows/series the
+// paper reports. cmd/repro and the repository's benchmarks are thin
+// wrappers around this registry.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	// Quick shrinks iteration counts and sweep ranges so the whole suite
+	// runs in seconds (used by `go test -bench` and smoke runs). Full
+	// fidelity is the default.
+	Quick bool
+}
+
+// Result is an experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	Notes  []string
+}
+
+// String renders the result as text.
+func (r *Result) String() string {
+	out := fmt.Sprintf("### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Experiment is a registered driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Options) (*Result, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs lists the registered experiment ids.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// Get looks an experiment up by id.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	sorted := IDs()
+	sort.Strings(sorted)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, sorted)
+}
+
+// appSeries runs an application across networks, node counts, and PPNs,
+// returning elapsed seconds keyed by [network][ppn][nodes].
+type seriesKey struct {
+	net   platform.Network
+	ppn   int
+	nodes int
+}
+
+func runSeries(nets []platform.Network, nodeCounts []int, ppns []int,
+	app func(r *mpi.Rank)) (map[seriesKey]float64, error) {
+	out := map[seriesKey]float64{}
+	for _, net := range nets {
+		for _, ppn := range ppns {
+			for _, nodes := range nodeCounts {
+				ranks := nodes * ppn
+				m, err := platform.New(platform.Options{Network: net, Ranks: ranks, PPN: ppn})
+				if err != nil {
+					return nil, fmt.Errorf("%v nodes=%d ppn=%d: %w", net, nodes, ppn, err)
+				}
+				res, err := m.Run(app)
+				if err != nil {
+					return nil, fmt.Errorf("%v nodes=%d ppn=%d: %w", net, nodes, ppn, err)
+				}
+				out[seriesKey{net, ppn, nodes}] = res.Elapsed.Seconds()
+			}
+		}
+	}
+	return out, nil
+}
+
+// seriesLabel names one curve the way the paper's legends do.
+func seriesLabel(net platform.Network, ppn int) string {
+	return fmt.Sprintf("%s %dPPN", net.Short(), ppn)
+}
+
+// fmtSeconds renders a time in seconds with sensible precision.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// fmtBytes renders a message size like the paper's axes.
+func fmtBytes(b units.Bytes) string { return b.String() }
+
+// newTable builds a report table.
+func newTable(title string, headers ...string) *report.Table {
+	return report.NewTable(title, headers...)
+}
+
+// newKV builds a two-column property table.
+func newKV(title string) *report.Table {
+	return report.NewTable(title, "property", "value")
+}
+
+// atof parses a table cell back to float (cells are produced by AddRow's
+// formatter, so this never sees garbage in practice).
+func atof(s string) float64 {
+	var v float64
+	fmt.Sscanf(s, "%g", &v)
+	return v
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,90 @@
+// Package extrapolate fits scaling trends to small-system measurements and
+// projects them to large systems — the method behind the paper's Figure 8,
+// which extends the 32-node LAMMPS membrane results to 8192 processors
+// "assuming the scaling trends continue exactly as they did for the first
+// 32 nodes".
+//
+// The model is geometric-per-doubling: ln T(P) = a + b*log2(P), i.e. each
+// doubling of the process count multiplies the (scaled-problem) execution
+// time by a constant factor e^b. This is the simplest trend for which
+// "continuing exactly" is well defined, and on the measured range it fits
+// the scaled-speedup series closely.
+package extrapolate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is a least-squares fit of ln(time) against log2(procs).
+type Fit struct {
+	InterceptLn float64 // ln T at log2(P) = 0
+	Slope       float64 // d ln T / d log2 P
+	R2          float64 // goodness of fit
+	N           int     // points fitted
+}
+
+// FitLogTime fits the model to measured (procs, time) points. At least two
+// distinct process counts are required.
+func FitLogTime(procs []int, times []float64) (*Fit, error) {
+	if len(procs) != len(times) {
+		return nil, fmt.Errorf("extrapolate: %d procs vs %d times", len(procs), len(times))
+	}
+	if len(procs) < 2 {
+		return nil, fmt.Errorf("extrapolate: need at least 2 points")
+	}
+	var xs, ys []float64
+	for i := range procs {
+		if procs[i] < 1 || times[i] <= 0 {
+			return nil, fmt.Errorf("extrapolate: invalid point (%d, %g)", procs[i], times[i])
+		}
+		xs = append(xs, math.Log2(float64(procs[i])))
+		ys = append(ys, math.Log(times[i]))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("extrapolate: all points at the same process count")
+	}
+	f := &Fit{N: len(xs)}
+	f.Slope = (n*sxy - sx*sy) / den
+	f.InterceptLn = (sy - f.Slope*sx) / n
+	// R^2.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := f.InterceptLn + f.Slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot == 0 {
+		f.R2 = 1
+	} else {
+		f.R2 = 1 - ssRes/ssTot
+	}
+	return f, nil
+}
+
+// TimeAt projects the fitted time at p processes.
+func (f *Fit) TimeAt(p int) float64 {
+	return math.Exp(f.InterceptLn + f.Slope*math.Log2(float64(p)))
+}
+
+// EfficiencyAt projects scaled-problem efficiency (percent) at p processes
+// relative to pRef.
+func (f *Fit) EfficiencyAt(pRef, p int) float64 {
+	return f.TimeAt(pRef) / f.TimeAt(p) * 100
+}
+
+// PerDoublingFactor reports the fitted multiplicative time growth per
+// process-count doubling (1.0 = perfect scaling).
+func (f *Fit) PerDoublingFactor() float64 {
+	return math.Exp(f.Slope)
+}

@@ -1,0 +1,99 @@
+package extrapolate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactGeometricRecovery(t *testing.T) {
+	// T(P) = 10 * 1.05^log2(P): each doubling costs 5%.
+	procs := []int{1, 2, 4, 8, 16, 32}
+	times := make([]float64, len(procs))
+	for i, p := range procs {
+		times[i] = 10 * math.Pow(1.05, math.Log2(float64(p)))
+	}
+	f, err := FitLogTime(procs, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.PerDoublingFactor()-1.05) > 1e-9 {
+		t.Fatalf("per-doubling = %v, want 1.05", f.PerDoublingFactor())
+	}
+	if math.Abs(f.R2-1) > 1e-9 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+	// Extrapolate to 1024: T = 10*1.05^10; E = T(1)/T(1024).
+	wantT := 10 * math.Pow(1.05, 10)
+	if math.Abs(f.TimeAt(1024)-wantT) > 1e-6 {
+		t.Fatalf("TimeAt(1024) = %v, want %v", f.TimeAt(1024), wantT)
+	}
+	wantE := 100 / math.Pow(1.05, 10)
+	if math.Abs(f.EfficiencyAt(1, 1024)-wantE) > 1e-6 {
+		t.Fatalf("EfficiencyAt = %v, want %v", f.EfficiencyAt(1, 1024), wantE)
+	}
+}
+
+func TestNoisyFitReasonable(t *testing.T) {
+	procs := []int{1, 2, 4, 8, 16, 32}
+	times := []float64{10, 10.6, 11.0, 11.8, 12.2, 13.1}
+	f, err := FitLogTime(procs, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PerDoublingFactor() < 1.02 || f.PerDoublingFactor() > 1.10 {
+		t.Fatalf("per-doubling = %v", f.PerDoublingFactor())
+	}
+	if f.R2 < 0.95 {
+		t.Fatalf("R2 = %v for near-geometric data", f.R2)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := FitLogTime([]int{1}, []float64{1}); err == nil {
+		t.Fatal("single point should error")
+	}
+	if _, err := FitLogTime([]int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := FitLogTime([]int{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("negative time should error")
+	}
+	if _, err := FitLogTime([]int{4, 4}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x should error")
+	}
+}
+
+// Property: the fit interpolates any two-point dataset exactly.
+func TestTwoPointInterpolationProperty(t *testing.T) {
+	f := func(t1Raw, t2Raw uint16) bool {
+		t1 := float64(t1Raw%1000) + 1
+		t2 := float64(t2Raw%1000) + 1
+		fit, err := FitLogTime([]int{2, 16}, []float64{t1, t2})
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.TimeAt(2)-t1) < 1e-9*t1+1e-9 &&
+			math.Abs(fit.TimeAt(16)-t2) < 1e-9*t2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: extrapolated efficiency is monotone decreasing in P when the
+// slope is positive.
+func TestEfficiencyMonotoneProperty(t *testing.T) {
+	fit, err := FitLogTime([]int{1, 32}, []float64{10, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for p := 1; p <= 8192; p *= 2 {
+		e := fit.EfficiencyAt(1, p)
+		if e > prev {
+			t.Fatalf("efficiency increased at P=%d", p)
+		}
+		prev = e
+	}
+}

@@ -1,0 +1,298 @@
+// Package fabric simulates message transport across a folded-Clos network.
+//
+// Messages are segmented into MTU-sized chunks that cut through the network:
+// a chunk begins serializing on hop i+1 as soon as it has fully serialized
+// on hop i and crossed the wire/chassis, so long messages pipeline across
+// hops while every link remains a FIFO contention point. This chunk-level
+// virtual cut-through is the standard fidelity/cost compromise of
+// cluster-scale simulators: per-flit modelling would cost thousands of
+// events per message for no change in the behaviours this repository
+// studies.
+//
+// The path of a message is:
+//
+//	host PCI bus -> injection link -> [uplink -> downlink] -> ejection link -> host PCI bus
+//
+// The PCI-X stage is optional (HostBandwidth == 0 disables it). It models
+// the paper's platform constraint that both networks claim ~2 GB/s at the
+// physical layer but deliver well under 1 GB/s through a 133 MHz PCI-X
+// slot. PCI-X is a half-duplex shared bus, so a node's inbound and outbound
+// DMA contend with each other — and, at 2 processes per node, with the
+// other rank's traffic.
+//
+// Routing policy is a per-fabric choice: the InfiniBand model uses the
+// deterministic destination-based spine selection a subnet manager's linear
+// forwarding tables produce, while the Elan model uses adaptive
+// (least-loaded uplink) selection, which QsNetII implements in hardware.
+// Adaptive selection happens per chunk at the moment the chunk reaches the
+// leaf's uplink stage, mirroring per-packet hardware adaptivity.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Params defines the physical characteristics of a fabric.
+type Params struct {
+	// LinkBandwidth is the per-direction data rate of every cable.
+	LinkBandwidth units.Rate
+	// WireLatency is the propagation delay of one cable.
+	WireLatency units.Duration
+	// ChassisLatency is the traversal delay of one switch chassis
+	// (covering its internal crossbar stages).
+	ChassisLatency units.Duration
+	// MTU is the chunking granularity for cut-through pipelining.
+	MTU units.Bytes
+	// PacketOverhead is added to every chunk's serialization time
+	// (headers, CRC, encoding overhead).
+	PacketOverhead units.Bytes
+	// HostBandwidth is the effective DMA rate of each node's PCI-X bus.
+	// Zero disables the host stage.
+	HostBandwidth units.Rate
+	// HostLatency is the DMA startup cost paid per chunk crossing a host
+	// bus.
+	HostLatency units.Duration
+	// Adaptive selects least-loaded-uplink routing instead of
+	// deterministic destination routing.
+	Adaptive bool
+}
+
+// Validate reports configuration errors.
+func (p *Params) Validate() error {
+	if p.LinkBandwidth <= 0 {
+		return fmt.Errorf("fabric: non-positive link bandwidth")
+	}
+	if p.MTU <= 0 {
+		return fmt.Errorf("fabric: non-positive MTU")
+	}
+	if p.WireLatency < 0 || p.ChassisLatency < 0 || p.PacketOverhead < 0 || p.HostLatency < 0 {
+		return fmt.Errorf("fabric: negative latency or overhead")
+	}
+	if p.HostBandwidth < 0 {
+		return fmt.Errorf("fabric: negative host bandwidth")
+	}
+	return nil
+}
+
+// Fabric is an instantiated network: a topology plus one FIFO server per
+// unidirectional link and one per node PCI bus.
+type Fabric struct {
+	eng    *sim.Engine
+	clos   *topology.Clos
+	params Params
+	links  []*sim.Server // indexed by topology.LinkID
+	hosts  []*sim.Server // per-node half-duplex PCI bus; nil if disabled
+
+	messages uint64
+	bytes    units.Bytes
+}
+
+// New builds a fabric over nodes endpoints using chassis of the given radix.
+func New(eng *sim.Engine, nodes, radix int, params Params) (*Fabric, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	clos, err := topology.NewClos(nodes, radix)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{eng: eng, clos: clos, params: params}
+	f.links = make([]*sim.Server, clos.NumLinks())
+	for i := range f.links {
+		f.links[i] = eng.NewServer(fmt.Sprintf("link%d", i))
+	}
+	if params.HostBandwidth > 0 {
+		f.hosts = make([]*sim.Server, nodes)
+		for i := range f.hosts {
+			f.hosts[i] = eng.NewServer(fmt.Sprintf("pci%d", i))
+		}
+	}
+	return f, nil
+}
+
+// Nodes reports the number of endpoints.
+func (f *Fabric) Nodes() int { return f.clos.Nodes }
+
+// Topology exposes the underlying Clos plan (read-only use).
+func (f *Fabric) Topology() *topology.Clos { return f.clos }
+
+// Params returns the fabric's physical parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// Stats reports totals since construction.
+func (f *Fabric) Stats() (messages uint64, bytes units.Bytes) {
+	return f.messages, f.bytes
+}
+
+// LinkUtilization reports the utilization of the given link.
+func (f *Fabric) LinkUtilization(id topology.LinkID) float64 {
+	return f.links[id].Utilization()
+}
+
+// HostBus exposes the node's PCI bus server so NIC models can charge
+// descriptor and doorbell traffic to it. Nil when the host stage is
+// disabled.
+func (f *Fabric) HostBus(node int) *sim.Server {
+	if f.hosts == nil {
+		return nil
+	}
+	return f.hosts[node]
+}
+
+// stage is one FIFO hop of a message's path.
+type stage struct {
+	srv  *sim.Server
+	rate units.Rate
+	lat  units.Duration // latency paid after serialization on this hop
+}
+
+// path is the materialized hop list for one message, with the index of the
+// uplink stage (-1 if the route does not cross spines) so adaptive fabrics
+// can re-choose the spine chunk by chunk.
+type path struct {
+	stages  []stage
+	upIdx   int
+	srcLeaf int
+	dstLeaf int
+}
+
+func (f *Fabric) pathFor(src, dst int) path {
+	p := f.params
+	clos := f.clos
+	var pt path
+	pt.upIdx = -1
+	add := func(srv *sim.Server, rate units.Rate, lat units.Duration) {
+		pt.stages = append(pt.stages, stage{srv, rate, lat})
+	}
+	if f.hosts != nil {
+		add(f.hosts[src], p.HostBandwidth, p.HostLatency)
+	}
+	cross := clos.Levels == 2 && clos.LeafOf(src) != clos.LeafOf(dst)
+	add(f.links[clos.Injection(src)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
+	if cross {
+		pt.srcLeaf, pt.dstLeaf = clos.LeafOf(src), clos.LeafOf(dst)
+		spine := 0
+		if !p.Adaptive {
+			spine = clos.DestSpine(dst)
+		}
+		pt.upIdx = len(pt.stages)
+		add(f.links[clos.Up(pt.srcLeaf, spine)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
+		add(f.links[clos.Down(spine, pt.dstLeaf)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
+	}
+	add(f.links[clos.Ejection(dst)], p.LinkBandwidth, p.WireLatency)
+	if f.hosts != nil {
+		add(f.hosts[dst], p.HostBandwidth, p.HostLatency)
+	}
+	return pt
+}
+
+// leastLoadedSpine returns the spine whose uplink from the given leaf has
+// the earliest busy horizon, ties broken toward the lowest index.
+func (f *Fabric) leastLoadedSpine(leaf int) int {
+	best, bestAt := 0, units.Forever
+	for s := 0; s < f.clos.Spines; s++ {
+		if at := f.links[f.clos.Up(leaf, s)].BusyUntil(); at < bestAt {
+			best, bestAt = s, at
+		}
+	}
+	return best
+}
+
+// Send injects a message of the given size from src to dst at the current
+// simulated time and returns a signal that fires when the final byte has
+// been delivered into dst's host memory. Zero-size messages (pure control
+// traffic) still pay one packet's serialization and the full route latency.
+func (f *Fabric) Send(src, dst int, size units.Bytes) *sim.Signal {
+	if src == dst {
+		panic("fabric: send to self must be handled above the fabric (loopback)")
+	}
+	if size < 0 {
+		panic("fabric: negative message size")
+	}
+	f.messages++
+	f.bytes += size
+	done := f.eng.NewSignal(fmt.Sprintf("msg %d->%d (%v)", src, dst, size))
+
+	pt := f.pathFor(src, dst)
+	sizes := f.chunkSizes(size)
+	remaining := len(sizes)
+	for _, sz := range sizes {
+		f.sendChunk(pt, 0, sz, f.eng.Now(), func() {
+			remaining--
+			if remaining == 0 {
+				done.Fire()
+			}
+		})
+	}
+	return done
+}
+
+// chunkSizes splits a message into MTU-sized chunks (a zero-size message is
+// one zero-size chunk: a bare header).
+func (f *Fabric) chunkSizes(size units.Bytes) []units.Bytes {
+	mtu := f.params.MTU
+	n := int((size + mtu - 1) / mtu)
+	if n == 0 {
+		n = 1
+	}
+	out := make([]units.Bytes, n)
+	for i := range out {
+		out[i] = mtu
+	}
+	out[n-1] = size - units.Bytes(n-1)*mtu
+	return out
+}
+
+// sendChunk advances one chunk through the path starting at stage i. It is
+// lazily scheduled: the chunk claims each hop only when it actually arrives
+// there, so cross-traffic interleaves correctly under contention, and
+// adaptive spine choice sees true instantaneous load.
+func (f *Fabric) sendChunk(pt path, i int, size units.Bytes, ready units.Time, delivered func()) {
+	f.eng.At(ready, func() {
+		if f.params.Adaptive && i == pt.upIdx {
+			spine := f.leastLoadedSpine(pt.srcLeaf)
+			pt.stages = append([]stage(nil), pt.stages...)
+			pt.stages[i].srv = f.links[f.clos.Up(pt.srcLeaf, spine)]
+			pt.stages[i+1].srv = f.links[f.clos.Down(spine, pt.dstLeaf)]
+		}
+		st := pt.stages[i]
+		ser := st.rate.TimeFor(size + f.params.PacketOverhead)
+		out := st.srv.ServeAt(ready, ser).Add(st.lat)
+		if i < len(pt.stages)-1 {
+			f.sendChunk(pt, i+1, size, out, delivered)
+			return
+		}
+		f.eng.At(out, delivered)
+	})
+}
+
+// MinLatency reports the unloaded one-way latency of a size-byte message
+// from src to dst on an otherwise idle fabric. It evaluates the same FIFO
+// pipeline recurrence the simulation executes, so on an idle fabric the
+// simulated delivery time equals this value exactly. It is a convenience
+// for calibration and tests, not a simulation.
+func (f *Fabric) MinLatency(src, dst int, size units.Bytes) units.Duration {
+	pt := f.pathFor(src, dst)
+	p := f.params
+	sizes := f.chunkSizes(size)
+	m := len(pt.stages)
+	busy := make([]units.Time, m) // service-completion horizon per stage
+	var delivered units.Time
+	for _, sz := range sizes {
+		var ready units.Time
+		for i, st := range pt.stages {
+			start := ready
+			if busy[i] > start {
+				start = busy[i]
+			}
+			busy[i] = start.Add(st.rate.TimeFor(sz + p.PacketOverhead))
+			ready = busy[i].Add(st.lat)
+		}
+		delivered = ready
+	}
+	return units.Duration(delivered)
+}

@@ -1,0 +1,292 @@
+// Package ib models a 4X InfiniBand host channel adapter at the verbs
+// level: reliable-connection queue pairs, RDMA write, completion
+// notification, explicit memory registration, and connection establishment.
+//
+// The model captures the architectural properties the paper's Section 3
+// contrasts with Quadrics:
+//
+//   - Connection-oriented: a queue pair must be established per peer before
+//     data can flow, and per-connection state (QP context + the MPI layer's
+//     per-peer eager buffers) scales linearly with peers.
+//   - Explicit registration: transfers touch only registered memory;
+//     registration is a host-side operation whose cost is mitigated — and
+//     occasionally amplified — by a pin-down cache (see RegCache).
+//   - No matching, no independent progress: the HCA moves bytes; every MPI
+//     semantic (tag matching, rendezvous control) is host software, which
+//     is exactly what the MPI transport built on this package does.
+//
+// Costs are split between the host (paid by the calling process as
+// simulated CPU time) and the HCA's processing engine (a FIFO server, so
+// back-to-back small messages queue behind each other — the message-rate
+// limit visible in the paper's streaming benchmark).
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Params defines HCA timing and capacity parameters.
+type Params struct {
+	// PostOverhead is host CPU time to build a WQE and ring the doorbell.
+	PostOverhead units.Duration
+	// DoorbellLatency is the posted-write delay from doorbell to the HCA
+	// starting on the WQE.
+	DoorbellLatency units.Duration
+	// DoorbellBusTime is PCI-X bus occupancy per doorbell/WQE programmed
+	// I/O. PCI-X is half duplex, so these PIO cycles steal bandwidth from
+	// concurrent DMA — a per-message cost that matters for streaming
+	// small messages.
+	DoorbellBusTime units.Duration
+	// ProcPerWQE is HCA processing time per work request (send side).
+	ProcPerWQE units.Duration
+	// RecvProc is HCA processing time per arriving message (placement,
+	// CQE generation).
+	RecvProc units.Duration
+	// CQPoll is host CPU time per completion-queue poll that finds an
+	// entry (an empty poll costs CQPollEmpty).
+	CQPoll      units.Duration
+	CQPollEmpty units.Duration
+
+	// Memory registration cost model.
+	RegLookup    units.Duration // pin-down cache lookup
+	RegBase      units.Duration // per registration call
+	RegPerPage   units.Duration // per 4 KiB page registered
+	DeregBase    units.Duration
+	DeregPerPage units.Duration
+	PageSize     units.Bytes
+	RegCacheCap  units.Bytes // pin-down cache capacity
+
+	// QPSetup is the one-time cost to establish a reliable connection to
+	// a peer (charged at connect time).
+	QPSetup units.Duration
+	// QPContextBytes approximates per-connection HCA/driver state, for
+	// memory-scaling statistics.
+	QPContextBytes units.Bytes
+}
+
+// DefaultParams returns parameters calibrated for the paper's platform: a
+// Voltaire HCA 400 (4X, PCI-X) running MVAPICH-era firmware. See
+// internal/platform for the calibration anchors.
+func DefaultParams() Params {
+	return Params{
+		PostOverhead:    300 * units.Nanosecond,
+		DoorbellLatency: 1300 * units.Nanosecond,
+		DoorbellBusTime: 450 * units.Nanosecond,
+		ProcPerWQE:      1800 * units.Nanosecond,
+		RecvProc:        1000 * units.Nanosecond,
+		CQPoll:          150 * units.Nanosecond,
+		CQPollEmpty:     60 * units.Nanosecond,
+		RegLookup:       50 * units.Nanosecond,
+		RegBase:         1500 * units.Nanosecond,
+		RegPerPage:      600 * units.Nanosecond,
+		DeregBase:       800 * units.Nanosecond,
+		DeregPerPage:    300 * units.Nanosecond,
+		PageSize:        4 * units.KiB,
+		RegCacheCap:     7 * units.MiB,
+		QPSetup:         120 * units.Microsecond,
+		QPContextBytes:  1 * units.KiB,
+	}
+}
+
+// Delivery describes an RDMA write arriving at a destination HCA. The
+// receiving host is NOT involved: the HCA has already placed the payload in
+// registered memory when the handler runs. Handlers run in event context
+// and must not block; they typically enqueue work for the host to discover
+// on its next MPI call.
+type Delivery struct {
+	SrcNode int
+	Imm     interface{} // immediate data / software envelope riding with the message
+	Size    units.Bytes
+}
+
+// Network owns one HCA per fabric endpoint.
+type Network struct {
+	eng  *sim.Engine
+	fab  *fabric.Fabric
+	hcas []*HCA
+}
+
+// NewNetwork equips every node of the fabric with an HCA.
+func NewNetwork(eng *sim.Engine, fab *fabric.Fabric, params Params) *Network {
+	n := &Network{eng: eng, fab: fab}
+	n.hcas = make([]*HCA, fab.Nodes())
+	for i := range n.hcas {
+		n.hcas[i] = &HCA{
+			net:      n,
+			eng:      eng,
+			fab:      fab,
+			node:     i,
+			params:   params,
+			engine:   eng.NewServer(fmt.Sprintf("hca%d", i)),
+			regCache: NewRegCache(params.RegCacheCap),
+			qps:      map[int]bool{},
+		}
+	}
+	return n
+}
+
+// HCA returns the adapter of the given node.
+func (n *Network) HCA(node int) *HCA { return n.hcas[node] }
+
+// Fabric returns the underlying fabric.
+func (n *Network) Fabric() *fabric.Fabric { return n.fab }
+
+// HCA is one host channel adapter.
+type HCA struct {
+	net    *Network
+	eng    *sim.Engine
+	fab    *fabric.Fabric
+	node   int
+	params Params
+
+	engine   *sim.Server // the HCA's processing pipeline
+	regCache *RegCache
+	handler  func(Delivery)
+
+	qps       map[int]bool
+	QPMemory  units.Bytes
+	SendCount uint64
+	RecvCount uint64
+}
+
+// Node reports the fabric endpoint this HCA serves.
+func (h *HCA) Node() int { return h.node }
+
+// Params returns the HCA's parameters.
+func (h *HCA) Params() Params { return h.params }
+
+// RegCache exposes the pin-down cache for statistics.
+func (h *HCA) RegCache() *RegCache { return h.regCache }
+
+// SetHandler installs the upcall invoked when an RDMA write from a peer has
+// been fully placed in this node's memory.
+func (h *HCA) SetHandler(fn func(Delivery)) { h.handler = fn }
+
+// Connect establishes a reliable connection to the peer node, charging the
+// calling process the QP setup cost. Connecting twice is free (idempotent).
+// The paper's Section 3.3.1: InfiniBand requires this step; Quadrics does
+// not.
+func (h *HCA) Connect(p *sim.Proc, peer int) {
+	if h.qps[peer] {
+		return
+	}
+	h.qps[peer] = true
+	h.QPMemory += h.params.QPContextBytes
+	p.Sleep(h.params.QPSetup)
+}
+
+// ConnectNoCost establishes a QP without charging wall time — for
+// connections made during job launch (MPI_Init), where the paper's runs do
+// not time the setup. State and memory are still counted.
+func (h *HCA) ConnectNoCost(peer int) {
+	if h.qps[peer] {
+		return
+	}
+	h.qps[peer] = true
+	h.QPMemory += h.params.QPContextBytes
+}
+
+// Connected reports whether a QP to the peer exists.
+func (h *HCA) Connected(peer int) bool { return h.qps[peer] }
+
+// NumQPs reports the number of established connections.
+func (h *HCA) NumQPs() int { return len(h.qps) }
+
+// Register pins the buffer (key, size), charging the calling process the
+// host-side registration cost through the pin-down cache.
+func (h *HCA) Register(p *sim.Proc, key uint64, size units.Bytes) {
+	p.Sleep(h.regCache.Access(key, size, &h.params))
+}
+
+// RDMAWrite posts an RDMA write of size bytes to the peer node, carrying
+// imm as the software envelope. The calling process pays the post overhead;
+// the transfer then proceeds asynchronously: doorbell -> HCA engine ->
+// fabric -> remote HCA -> remote handler. The returned signal fires at
+// local completion (CQE available: the message has been placed remotely).
+//
+// The destination buffer is the caller's business (RDMA semantics): the
+// remote host is not interrupted and performs no work.
+func (h *HCA) RDMAWrite(p *sim.Proc, peer int, size units.Bytes, imm interface{}) *sim.Signal {
+	if !h.qps[peer] {
+		panic(fmt.Sprintf("ib: RDMA write on node %d to unconnected peer %d", h.node, peer))
+	}
+	h.SendCount++
+	p.Sleep(h.params.PostOverhead)
+	if bus := h.fab.HostBus(h.node); bus != nil {
+		// Doorbell + WQE PIO occupy the shared PCI-X bus.
+		bus.Serve(h.params.DoorbellBusTime)
+	}
+	done := h.eng.NewSignal(fmt.Sprintf("rdma %d->%d", h.node, peer))
+	h.eng.After(h.params.DoorbellLatency, func() {
+		h.engine.ServeThen(h.params.ProcPerWQE, func() {
+			h.fab.Send(h.node, peer, size).OnFire(func() {
+				// Remote HCA placement processing, then the upcall.
+				remote := h.net.hcas[peer]
+				remote.RecvCount++
+				remote.engine.ServeThen(remote.params.RecvProc, func() {
+					if remote.handler != nil {
+						remote.handler(Delivery{SrcNode: h.node, Imm: imm, Size: size})
+					}
+					done.Fire()
+				})
+			})
+		})
+	})
+	return done
+}
+
+// RDMARead posts an RDMA read of size bytes FROM the peer node into local
+// registered memory, carrying imm as a software envelope delivered to the
+// LOCAL handler when the data has landed. Like RDMAWrite, the remote host
+// is never involved: the remote HCA serves the read from memory — which is
+// exactly why read-based ("RGET") rendezvous protocols reduce the
+// progress coupling of write-based ones.
+//
+// The returned signal fires at local completion (data placed locally).
+func (h *HCA) RDMARead(p *sim.Proc, peer int, size units.Bytes, imm interface{}) *sim.Signal {
+	if !h.qps[peer] {
+		panic(fmt.Sprintf("ib: RDMA read on node %d from unconnected peer %d", h.node, peer))
+	}
+	h.SendCount++
+	p.Sleep(h.params.PostOverhead)
+	if bus := h.fab.HostBus(h.node); bus != nil {
+		bus.Serve(h.params.DoorbellBusTime)
+	}
+	done := h.eng.NewSignal(fmt.Sprintf("rdma-read %d<-%d", h.node, peer))
+	h.eng.After(h.params.DoorbellLatency, func() {
+		h.engine.ServeThen(h.params.ProcPerWQE, func() {
+			// Read request travels to the peer (header-only), the peer's
+			// HCA serves it from memory, and the payload flows back.
+			h.fab.Send(h.node, peer, 64).OnFire(func() {
+				remote := h.net.hcas[peer]
+				remote.engine.ServeThen(remote.params.RecvProc, func() {
+					h.fab.Send(peer, h.node, size).OnFire(func() {
+						h.RecvCount++
+						h.engine.ServeThen(h.params.RecvProc, func() {
+							if h.handler != nil {
+								h.handler(Delivery{SrcNode: peer, Imm: imm, Size: size})
+							}
+							done.Fire()
+						})
+					})
+				})
+			})
+		})
+	})
+	return done
+}
+
+// PollCQ charges the calling process for one completion-queue poll: CQPoll
+// if something was found, CQPollEmpty otherwise. The transport decides what
+// "found" means; the HCA only prices the operation.
+func (h *HCA) PollCQ(p *sim.Proc, found bool) {
+	if found {
+		p.Sleep(h.params.CQPoll)
+		return
+	}
+	p.Sleep(h.params.CQPollEmpty)
+}

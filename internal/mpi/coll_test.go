@@ -1,0 +1,208 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+// collective semantics tests: these verify synchronization *properties*,
+// not just completion.
+
+func TestBarrierSynchronizes(t *testing.T) {
+	onBoth(t, func(t *testing.T, net platform.Network) {
+		for _, ranks := range []int{2, 3, 8, 12} {
+			m := build(t, net, ranks, 1)
+			entries := make([]units.Time, ranks)
+			exits := make([]units.Time, ranks)
+			_, err := m.Run(func(r *mpi.Rank) {
+				// Stagger entries so the barrier actually has to hold
+				// early arrivers.
+				r.Compute(units.Duration(r.ID())*10*units.Microsecond, 0)
+				entries[r.ID()] = r.Now()
+				r.Barrier()
+				exits[r.ID()] = r.Now()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var maxEntry, minExit units.Time
+			minExit = units.Forever
+			for i := 0; i < ranks; i++ {
+				if entries[i] > maxEntry {
+					maxEntry = entries[i]
+				}
+				if exits[i] < minExit {
+					minExit = exits[i]
+				}
+			}
+			if minExit < maxEntry {
+				t.Fatalf("ranks=%d: rank exited barrier at %v before last entry %v",
+					ranks, minExit, maxEntry)
+			}
+		}
+	})
+}
+
+func TestBcastReachesEveryoneAfterRoot(t *testing.T) {
+	onBoth(t, func(t *testing.T, net platform.Network) {
+		const ranks = 7 // non power of two
+		m := build(t, net, ranks, 1)
+		var rootEntry units.Time
+		exits := make([]units.Time, ranks)
+		_, err := m.Run(func(r *mpi.Rank) {
+			if r.ID() == 2 {
+				r.Compute(50*units.Microsecond, 0) // root arrives late
+				rootEntry = r.Now()
+			}
+			r.Bcast(2, 32*units.KiB)
+			exits[r.ID()] = r.Now()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range exits {
+			if i != 2 && e < rootEntry {
+				t.Fatalf("rank %d finished bcast at %v before root entered at %v", i, e, rootEntry)
+			}
+		}
+	})
+}
+
+func TestReduceCompletesAfterAllContributions(t *testing.T) {
+	onBoth(t, func(t *testing.T, net platform.Network) {
+		const ranks = 6
+		m := build(t, net, ranks, 1)
+		var lastEntry, rootExit units.Time
+		_, err := m.Run(func(r *mpi.Rank) {
+			r.Compute(units.Duration(ranks-r.ID())*20*units.Microsecond, 0)
+			if entry := r.Now(); entry > lastEntry {
+				lastEntry = entry
+			}
+			r.Reduce(0, 64*units.KiB)
+			if r.ID() == 0 {
+				rootExit = r.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rootExit < lastEntry {
+			t.Fatalf("root finished reduce at %v before last contribution at %v", rootExit, lastEntry)
+		}
+	})
+}
+
+func TestAllreduceActsAsBarrier(t *testing.T) {
+	onBoth(t, func(t *testing.T, net platform.Network) {
+		for _, ranks := range []int{4, 6, 16} { // pow2 and non-pow2 paths
+			m := build(t, net, ranks, 1)
+			entries := make([]units.Time, ranks)
+			exits := make([]units.Time, ranks)
+			_, err := m.Run(func(r *mpi.Rank) {
+				r.Compute(units.Duration(r.ID()%3)*15*units.Microsecond, 0)
+				entries[r.ID()] = r.Now()
+				r.Allreduce(4 * units.KiB)
+				exits[r.ID()] = r.Now()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var maxEntry, minExit units.Time
+			minExit = units.Forever
+			for i := 0; i < ranks; i++ {
+				if entries[i] > maxEntry {
+					maxEntry = entries[i]
+				}
+				if exits[i] < minExit {
+					minExit = exits[i]
+				}
+			}
+			if minExit < maxEntry {
+				t.Fatalf("ranks=%d: allreduce exit %v before last entry %v", ranks, minExit, maxEntry)
+			}
+		}
+	})
+}
+
+func TestAllCollectivesComplete(t *testing.T) {
+	onBoth(t, func(t *testing.T, net platform.Network) {
+		for _, ranks := range []int{1, 2, 5, 8} {
+			m := build(t, net, ranks, 1)
+			_, err := m.Run(func(r *mpi.Rank) {
+				r.Barrier()
+				r.Bcast(0, 1024)
+				r.Reduce(ranks-1, 1024)
+				r.Allreduce(1024)
+				r.Allgather(512)
+				r.Alltoall(256)
+				r.Gather(0, 512)
+				r.Scatter(0, 512)
+				r.Barrier()
+			})
+			if err != nil {
+				t.Fatalf("ranks=%d: %v", ranks, err)
+			}
+		}
+	})
+}
+
+func TestCollectivesDoNotInterfereWithPointToPoint(t *testing.T) {
+	onBoth(t, func(t *testing.T, net platform.Network) {
+		const ranks = 4
+		m := build(t, net, ranks, 1)
+		_, err := m.Run(func(r *mpi.Rank) {
+			// Post a user receive that must NOT match collective traffic.
+			var pending *mpi.Request
+			if r.ID() == 0 {
+				pending = r.Irecv(1, 99)
+			}
+			r.Allreduce(2 * units.KiB)
+			r.Barrier()
+			if r.ID() == 1 {
+				r.SendPayload(0, 99, 128, "user")
+			}
+			if r.ID() == 0 {
+				st := r.Wait(pending)
+				if st.Payload != "user" {
+					t.Errorf("user recv matched wrong message: %+v", st)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCollectiveScalingCost(t *testing.T) {
+	// Barrier cost should grow roughly logarithmically: going 4 -> 16 ranks
+	// should cost far less than 4x.
+	onBoth(t, func(t *testing.T, net platform.Network) {
+		cost := func(ranks int) units.Duration {
+			m := build(t, net, ranks, 1)
+			var span units.Duration
+			_, err := m.Run(func(r *mpi.Rank) {
+				r.Barrier() // warm/synchronize
+				start := r.Now()
+				for i := 0; i < 5; i++ {
+					r.Barrier()
+				}
+				if r.ID() == 0 {
+					span = r.Now().Sub(start) / 5
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return span
+		}
+		c4, c16 := cost(4), cost(16)
+		t.Logf("%s barrier: 4 ranks %v, 16 ranks %v", net.Short(), c4, c16)
+		if c16 >= 4*c4 {
+			t.Fatalf("barrier cost not logarithmic: %v -> %v", c4, c16)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Profile summarizes a job's communication behaviour: where time went and
+// what the message population looked like. It is the library's built-in
+// answer to "why is this run slow on network X?" — the same question the
+// paper answers with Section 3's architecture analysis.
+type Profile struct {
+	Ranks int
+
+	// Time accounting, summed over ranks.
+	ComputeTime units.Duration // inside Rank.Compute (application work)
+	MPIWaitTime units.Duration // blocked in Wait/Waitall and progress
+
+	// Message population (per send posting).
+	Messages    uint64
+	Bytes       units.Bytes
+	IntraNode   uint64 // via the shared-memory channel
+	SizeClasses []SizeClass
+}
+
+// SizeClass is one histogram bucket of sent-message sizes.
+type SizeClass struct {
+	UpTo  units.Bytes // inclusive upper bound; 0 bucket holds empties
+	Count uint64
+	Bytes units.Bytes
+}
+
+// numSizeClasses is the histogram bucket count.
+const numSizeClasses = 9
+
+// sizeClassBounds are the histogram edges (powers of four, MPI-ish).
+var sizeClassBounds = [numSizeClasses]units.Bytes{
+	0, 256, 1 * units.KiB, 4 * units.KiB, 16 * units.KiB,
+	64 * units.KiB, 256 * units.KiB, 1 * units.MiB, 1 << 62,
+}
+
+type profileState struct {
+	classCount [numSizeClasses]uint64
+	classBytes [numSizeClasses]units.Bytes
+	intraNode  uint64
+	mpiWait    units.Duration
+}
+
+// recordSend classifies one posted send.
+func (r *Rank) recordSend(size units.Bytes, intra bool) {
+	i := sort.Search(numSizeClasses, func(i int) bool { return size <= sizeClassBounds[i] })
+	if i >= numSizeClasses {
+		i = numSizeClasses - 1
+	}
+	r.prof.classCount[i]++
+	r.prof.classBytes[i] += size
+	if intra {
+		r.prof.intraNode++
+	}
+}
+
+// Profile aggregates the job's communication profile. Call after Run.
+func (w *World) Profile() *Profile {
+	p := &Profile{Ranks: w.cfg.Ranks}
+	var counts [numSizeClasses]uint64
+	var bytes [numSizeClasses]units.Bytes
+	for _, r := range w.ranks {
+		p.Messages += r.SendsPosted
+		p.Bytes += r.BytesSent
+		p.IntraNode += r.prof.intraNode
+		p.MPIWaitTime += r.prof.mpiWait
+		p.ComputeTime += r.node.ComputeTotal(r.slot)
+		for i := range counts {
+			counts[i] += r.prof.classCount[i]
+			bytes[i] += r.prof.classBytes[i]
+		}
+	}
+	for i, b := range sizeClassBounds {
+		if counts[i] == 0 {
+			continue
+		}
+		p.SizeClasses = append(p.SizeClasses, SizeClass{UpTo: b, Count: counts[i], Bytes: bytes[i]})
+	}
+	return p
+}
+
+// String renders the profile as a small report.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranks %d: %d msgs, %v total (%d intra-node)\n",
+		p.Ranks, p.Messages, p.Bytes, p.IntraNode)
+	fmt.Fprintf(&b, "time: compute %v, blocked in MPI %v\n", p.ComputeTime, p.MPIWaitTime)
+	for _, sc := range p.SizeClasses {
+		label := "<= " + sc.UpTo.String()
+		if sc.UpTo == 0 {
+			label = "empty"
+		} else if sc.UpTo >= 1<<62 {
+			label = "> 1MiB"
+		}
+		fmt.Fprintf(&b, "  %-10s %8d msgs  %10v\n", label, sc.Count, sc.Bytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package mpi_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+func TestProfileCountsMessagesAndBytes(t *testing.T) {
+	m := build(t, platform.QuadricsElan4, 4, 2)
+	_, err := m.Run(func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, 100)           // intra-node (ranks 0,1 on node 0)
+			r.Send(2, 0, 10*units.KiB)  // inter-node
+			r.Send(3, 0, 500*units.KiB) // inter-node, large
+		}
+		switch r.ID() {
+		case 1:
+			r.Recv(0, 0)
+		case 2:
+			r.Recv(0, 0)
+		case 3:
+			r.Recv(0, 0)
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.World.Profile()
+	// 3 app sends + barrier traffic; barrier sends are 0-byte.
+	if p.Messages < 3 {
+		t.Fatalf("messages = %d", p.Messages)
+	}
+	wantBytes := units.Bytes(100 + 10*units.KiB + 500*units.KiB)
+	if p.Bytes != wantBytes {
+		t.Fatalf("bytes = %v, want %v", p.Bytes, wantBytes)
+	}
+	if p.IntraNode < 1 {
+		t.Fatal("intra-node send not counted")
+	}
+	if len(p.SizeClasses) < 3 {
+		t.Fatalf("size classes: %+v", p.SizeClasses)
+	}
+	if !strings.Contains(p.String(), "msgs") {
+		t.Fatal("profile rendering broken")
+	}
+}
+
+func TestProfileTimeSplit(t *testing.T) {
+	m := build(t, platform.InfiniBand4X, 2, 1)
+	const compute = 5 * units.Millisecond
+	_, err := m.Run(func(r *mpi.Rank) {
+		r.Compute(compute, 0)
+		if r.ID() == 0 {
+			r.Send(1, 0, 2*units.MiB)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.World.Profile()
+	if p.ComputeTime < 2*compute-units.Microsecond {
+		t.Fatalf("compute time %v, want ~%v", p.ComputeTime, 2*compute)
+	}
+	// The receiver blocked during the sender's transfer: nonzero MPI time.
+	if p.MPIWaitTime <= 0 {
+		t.Fatalf("MPI wait time %v", p.MPIWaitTime)
+	}
+}
+
+func TestProfileMPIWaitReflectsNetworkSpeed(t *testing.T) {
+	// The same program must show more blocked-in-MPI time on the slower
+	// network — the profile is how a user would see the paper's story in
+	// their own application.
+	wait := func(net platform.Network) units.Duration {
+		m := build(t, net, 2, 1)
+		_, err := m.Run(func(r *mpi.Rank) {
+			peer := 1 - r.ID()
+			for i := 0; i < 10; i++ {
+				r.Sendrecv(peer, 0, 64*units.KiB, peer, 0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.World.Profile().MPIWaitTime
+	}
+	el, ib := wait(platform.QuadricsElan4), wait(platform.InfiniBand4X)
+	t.Logf("MPI wait: Elan %v, IB %v", el, ib)
+	if ib <= el {
+		t.Fatalf("IB wait (%v) should exceed Elan (%v)", ib, el)
+	}
+}

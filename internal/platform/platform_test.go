@@ -1,0 +1,121 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/elan"
+	"repro/internal/fabric"
+	"repro/internal/ib"
+	"repro/internal/mpi"
+	"repro/internal/mpi/mvib"
+	"repro/internal/units"
+)
+
+func TestNewBothNetworks(t *testing.T) {
+	for _, net := range Networks {
+		m, err := New(Options{Network: net, Ranks: 8, PPN: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Network != net || m.World.Size() != 8 {
+			t.Fatalf("machine mis-assembled: %+v", m)
+		}
+		if (m.IB == nil) == (m.Elan == nil) {
+			t.Fatal("exactly one transport must be set")
+		}
+		if m.Fab.Nodes() != 4 {
+			t.Fatalf("fabric nodes = %d, want 4", m.Fab.Nodes())
+		}
+	}
+}
+
+func TestDefaultPPN(t *testing.T) {
+	m, err := New(Options{Network: InfiniBand4X, Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fab.Nodes() != 3 {
+		t.Fatalf("PPN default should be 1; nodes = %d", m.Fab.Nodes())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(Options{Network: InfiniBand4X, Ranks: 0}); err == nil {
+		t.Fatal("0 ranks should error")
+	}
+	if _, err := New(Options{Network: Network(42), Ranks: 2}); err == nil {
+		t.Fatal("unknown network should error")
+	}
+}
+
+func TestTuningHooksApplied(t *testing.T) {
+	var sawFabric, sawIB, sawMPI bool
+	_, err := New(Options{
+		Network: InfiniBand4X, Ranks: 2, PPN: 1,
+		TuneFabric: func(p *fabric.Params) {
+			sawFabric = p.LinkBandwidth == IBFabricParams().LinkBandwidth
+		},
+		TuneIB: func(hp *ib.Params, tp *mvib.Params) {
+			sawIB = hp.PageSize == 4*units.KiB && tp.EagerSlots > 0
+		},
+		TuneMPI: func(cfg *mpi.Config) { sawMPI = cfg.Ranks == 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawFabric || !sawIB || !sawMPI {
+		t.Fatalf("hooks: fabric=%v ib=%v mpi=%v", sawFabric, sawIB, sawMPI)
+	}
+
+	var sawElan bool
+	_, err = New(Options{
+		Network: QuadricsElan4, Ranks: 2, PPN: 1,
+		TuneElan: func(p *elan.Params) { sawElan = p.EagerThreshold > 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawElan {
+		t.Fatal("elan hook not called")
+	}
+}
+
+func TestNetworkStrings(t *testing.T) {
+	if InfiniBand4X.String() != "4X InfiniBand" || QuadricsElan4.Short() != "Elan4" {
+		t.Fatal("labels wrong")
+	}
+	if !strings.Contains(Network(9).String(), "9") {
+		t.Fatal("unknown network should render its number")
+	}
+}
+
+func TestFabricParamsDiffer(t *testing.T) {
+	ibp, elp := IBFabricParams(), ElanFabricParams()
+	if ibp.Adaptive || !elp.Adaptive {
+		t.Fatal("routing policies backwards")
+	}
+	if elp.LinkBandwidth <= ibp.LinkBandwidth {
+		t.Fatal("Elan physical layer should be faster")
+	}
+	if err := ibp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := elp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	m, err := New(Options{Network: QuadricsElan4, Ranks: 4, PPN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(func(r *mpi.Rank) { r.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || len(res.RankElapsed) != 4 {
+		t.Fatalf("result: %+v", res)
+	}
+}

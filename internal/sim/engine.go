@@ -1,0 +1,214 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// The kernel supports two styles of model code:
+//
+//   - Event-driven callbacks, scheduled with (*Engine).At / (*Engine).After.
+//     Callbacks run on the scheduler goroutine.
+//   - Simulated processes ((*Engine).Spawn), each backed by a goroutine that
+//     can block on simulated time (Sleep) and synchronization objects
+//     (Signal, Queue, Server). At most one process executes at a time, and
+//     control transfers between the scheduler and processes are fully
+//     synchronous, so simulations are deterministic: the same program with
+//     the same seeds produces bit-identical event orders and timestamps.
+//
+// Determinism is load-bearing for this repository: every experiment in
+// EXPERIMENTS.md must be exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Re-exported aliases so model code only imports sim.
+type (
+	// Time is an absolute simulated timestamp (picoseconds).
+	Time = units.Time
+	// Duration is a simulated span (picoseconds).
+	Duration = units.Duration
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	procs   []*Proc
+	running *Proc
+	parked  chan *Proc
+
+	stopped   bool
+	err       error
+	nEvents   uint64
+	maxEvents uint64
+
+	// Trace, when non-nil, receives a line for every event dispatch and
+	// process state change. Intended for debugging small models.
+	Trace func(line string)
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan *Proc)}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events reports the number of events dispatched so far.
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// SetEventLimit aborts the run with an error after n dispatched events.
+// Zero (the default) means no limit. Used as a runaway-model backstop in
+// tests.
+func (e *Engine) SetEventLimit(n uint64) { e.maxEvents = n }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the model; the kernel treats it as "now" but records a trace
+// line to aid debugging.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		e.tracef("WARN: event scheduled in the past (%v < %v); clamping", t, e.now)
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// ErrDeadlock is returned by Run when no events remain but live processes
+// are still blocked.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// ErrEventLimit is returned when the configured event limit is exceeded.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Stop requests that the run loop return after the current event. It may be
+// called from event or process context.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until none remain, an error occurs, or Stop is
+// called. It returns ErrDeadlock if blocked processes remain at quiescence.
+func (e *Engine) Run() error { return e.RunUntil(units.Forever) }
+
+// RunUntil dispatches events with timestamps <= deadline. The clock is left
+// at the last dispatched event (or at deadline if the next event is beyond
+// it and at least one event at or before the deadline existed).
+func (e *Engine) RunUntil(deadline Time) error {
+	if e.err != nil {
+		return e.err
+	}
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > deadline {
+			return nil
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.nEvents++
+		if e.maxEvents > 0 && e.nEvents > e.maxEvents {
+			e.err = fmt.Errorf("%w after %d events at t=%v", ErrEventLimit, e.nEvents, e.now)
+			return e.err
+		}
+		e.dispatch(ev)
+		if e.err != nil {
+			return e.err
+		}
+	}
+	if e.stopped {
+		return nil
+	}
+	if blocked := e.blockedProcs(); len(blocked) > 0 {
+		e.err = fmt.Errorf("%w at t=%v: %d blocked process(es): %s",
+			ErrDeadlock, e.now, len(blocked), strings.Join(blocked, "; "))
+		return e.err
+	}
+	return nil
+}
+
+func (e *Engine) dispatch(ev event) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("sim: panic in event at t=%v: %v\n%s", e.now, r, debug.Stack())
+		}
+	}()
+	ev.fn()
+}
+
+func (e *Engine) blockedProcs() []string {
+	var out []string
+	for _, p := range e.procs {
+		if !p.done {
+			out = append(out, fmt.Sprintf("%s (%s)", p.name, p.state))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Err reports the first fatal error recorded by the engine.
+func (e *Engine) Err() error { return e.err }
+
+// Shutdown unwinds every live process goroutine. Call it when abandoning an
+// engine (after a deadlock, error, or early Stop) to avoid leaking parked
+// goroutines. The engine must not be run again afterwards.
+func (e *Engine) Shutdown() {
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		e.running = p
+		p.resume <- struct{}{}
+		<-e.parked
+		e.running = nil
+	}
+}
+
+func (e *Engine) tracef(format string, args ...interface{}) {
+	if e.Trace != nil {
+		e.Trace(fmt.Sprintf("[%v] ", e.now) + fmt.Sprintf(format, args...))
+	}
+}

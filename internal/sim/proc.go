@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulated process: a goroutine that can block on simulated time
+// and synchronization objects. All Proc methods must be called from the
+// process's own function (i.e., while it is the running process); the kernel
+// enforces this and panics otherwise, since violating it would break
+// determinism.
+type Proc struct {
+	eng    *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+	killed bool
+	state  string // human-readable blocking reason, for deadlock reports
+}
+
+// errKilled is the sentinel panic value used by Engine.Shutdown to unwind a
+// parked process goroutine.
+type killedSentinel struct{}
+
+// Spawn creates a process and schedules its first execution at the current
+// time. fn runs to completion in simulated time; when it returns the process
+// is done. Panics inside fn abort the simulation with a recorded error.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  "spawned",
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume // wait for first dispatch
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killedSentinel); !isKill && e.err == nil {
+					e.err = fmt.Errorf("sim: panic in process %q at t=%v: %v\n%s",
+						p.name, e.now, r, debug.Stack())
+				}
+			}
+			p.done = true
+			p.state = "done"
+			e.parked <- p // return control to the scheduler
+		}()
+		if p.killed {
+			panic(killedSentinel{})
+		}
+		fn(p)
+	}()
+	e.After(0, func() { e.switchTo(p) })
+	return p
+}
+
+// switchTo transfers control to p until it parks or finishes. Must be called
+// from scheduler (event) context only.
+func (e *Engine) switchTo(p *Proc) {
+	if p.done {
+		return
+	}
+	if e.running != nil {
+		panic("sim: switchTo while a process is running")
+	}
+	e.running = p
+	p.state = "running"
+	e.tracef("run %s", p.name)
+	p.resume <- struct{}{}
+	<-e.parked
+	e.running = nil
+}
+
+// park blocks the calling process until the scheduler resumes it. The state
+// string documents what the process is waiting for.
+func (p *Proc) park(state string) {
+	p.checkRunning()
+	p.state = state
+	e := p.eng
+	e.tracef("park %s: %s", p.name, state)
+	e.parked <- p
+	<-p.resume
+	if p.killed {
+		panic(killedSentinel{})
+	}
+	p.state = "running"
+}
+
+func (p *Proc) checkRunning() {
+	if p.eng.running != p {
+		panic(fmt.Sprintf("sim: process method on %q called from outside its own context", p.name))
+	}
+}
+
+// wake schedules the process to resume at the current time. Safe from any
+// simulation context (event or another process).
+//
+// Wakes are level-triggered: every blocking primitive rechecks its condition
+// in a loop after resuming, so a stale wake (e.g. from a WaitAny
+// registration whose other signal fired later) is harmless — the process
+// just re-parks.
+func (p *Proc) wake() {
+	e := p.eng
+	e.After(0, func() { e.switchTo(p) })
+}
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID reports the process's kernel-assigned id.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep blocks the process for d of simulated time. Sleep(0) returns
+// immediately without yielding; use Yield to let other same-timestamp work
+// run first.
+func (p *Proc) Sleep(d Duration) {
+	p.checkRunning()
+	if d <= 0 {
+		return
+	}
+	e := p.eng
+	target := e.now.Add(d)
+	e.At(target, func() { e.switchTo(p) })
+	for e.now < target {
+		p.park(fmt.Sprintf("sleeping until %v", target))
+	}
+}
+
+// SleepUntil blocks the process until absolute time t (no-op if t is in the
+// past).
+func (p *Proc) SleepUntil(t Time) {
+	p.checkRunning()
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t.Sub(p.eng.now))
+}
+
+// Yield gives other ready events/processes at the current timestamp a chance
+// to run before continuing.
+func (p *Proc) Yield() {
+	p.checkRunning()
+	p.wake()
+	p.park("yielding")
+}

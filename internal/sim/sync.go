@@ -1,0 +1,255 @@
+package sim
+
+import "fmt"
+
+// Signal is a one-shot completion event. Processes can block on it, and
+// event-driven code can attach callbacks. Firing is idempotent-hostile:
+// firing twice is a model bug and panics.
+type Signal struct {
+	eng     *Engine
+	name    string
+	fired   bool
+	at      Time
+	waiters []*Proc
+	cbs     []func()
+}
+
+// NewSignal creates a signal. The name appears in deadlock reports.
+func (e *Engine) NewSignal(name string) *Signal {
+	return &Signal{eng: e, name: name}
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// FiredAt reports when the signal fired; only meaningful if Fired.
+func (s *Signal) FiredAt() Time { return s.at }
+
+// Fire marks the signal complete, wakes all blocked processes, and schedules
+// all callbacks at the current time. Safe from event or process context.
+func (s *Signal) Fire() {
+	if s.fired {
+		panic(fmt.Sprintf("sim: signal %q fired twice", s.name))
+	}
+	s.fired = true
+	s.at = s.eng.now
+	for _, w := range s.waiters {
+		w.wake()
+	}
+	s.waiters = nil
+	for _, cb := range s.cbs {
+		cb := cb
+		s.eng.After(0, cb)
+	}
+	s.cbs = nil
+}
+
+// OnFire registers fn to run when the signal fires (immediately scheduled if
+// it already has).
+func (s *Signal) OnFire(fn func()) {
+	if s.fired {
+		s.eng.After(0, fn)
+		return
+	}
+	s.cbs = append(s.cbs, fn)
+}
+
+// addWaiter registers a process for wakeup, deduplicating: a process
+// re-registering after a spurious (level-triggered) wake must not
+// accumulate entries, or one Fire would schedule a burst of redundant
+// wakes that re-register again — an amplifying event storm.
+func (s *Signal) addWaiter(p *Proc) {
+	for _, w := range s.waiters {
+		if w == p {
+			return
+		}
+	}
+	s.waiters = append(s.waiters, p)
+}
+
+// Wait blocks the process until the signal fires. Returns immediately if it
+// already has.
+func (p *Proc) Wait(s *Signal) {
+	p.checkRunning()
+	for !s.fired {
+		s.addWaiter(p)
+		p.park("waiting on signal " + s.name)
+	}
+}
+
+// WaitAll blocks until every signal has fired.
+func (p *Proc) WaitAll(sigs ...*Signal) {
+	for _, s := range sigs {
+		p.Wait(s)
+	}
+}
+
+// WaitAny blocks until at least one of the signals has fired and returns the
+// index of the first fired signal (lowest index among fired).
+func (p *Proc) WaitAny(sigs ...*Signal) int {
+	p.checkRunning()
+	if len(sigs) == 0 {
+		panic("sim: WaitAny with no signals")
+	}
+	for {
+		for i, s := range sigs {
+			if s.fired {
+				return i
+			}
+		}
+		// Register with all; first to fire wakes us. Waking is level-
+		// triggered (the loop above rechecks), and registration is
+		// deduplicated, so stale entries cost one wake at most.
+		for _, s := range sigs {
+			s.addWaiter(p)
+		}
+		p.park("waiting on any of " + sigs[0].name + "...")
+	}
+}
+
+// Queue is an unbounded FIFO connecting producers (any context) with
+// consumers (process context).
+type Queue struct {
+	eng     *Engine
+	name    string
+	items   []interface{}
+	waiters []*Proc
+}
+
+// NewQueue creates an empty queue. The name appears in deadlock reports.
+func (e *Engine) NewQueue(name string) *Queue {
+	return &Queue{eng: e, name: name}
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push appends an item and wakes one blocked consumer, if any. Safe from
+// event or process context.
+func (q *Queue) Push(v interface{}) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.wake()
+	}
+}
+
+// TryPop removes and returns the head item, or (nil, false) if empty.
+func (q *Queue) TryPop() (interface{}, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks the process until an item is available and returns it.
+func (q *Queue) Pop(p *Proc) interface{} {
+	p.checkRunning()
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v
+		}
+		dup := false
+		for _, w := range q.waiters {
+			if w == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			q.waiters = append(q.waiters, p)
+		}
+		p.park("popping queue " + q.name)
+	}
+}
+
+// Server models a FIFO resource with a single service channel (a link, a
+// DMA engine, a NIC processor, a bus). Work items are serialized: each item
+// begins service when the server becomes free and occupies it for the item's
+// duration. The implementation keeps only a "busy until" horizon, so
+// scheduling is O(1) per item.
+type Server struct {
+	eng       *Engine
+	name      string
+	busyUntil Time
+	busyTotal Duration // accumulated service time, for utilization stats
+	served    uint64
+}
+
+// NewServer creates an idle server.
+func (e *Engine) NewServer(name string) *Server {
+	return &Server{eng: e, name: name}
+}
+
+// Serve enqueues work of duration d and returns its completion time.
+func (s *Server) Serve(d Duration) Time {
+	return s.ServeAt(s.eng.now, d)
+}
+
+// ServeAt enqueues work of duration d that cannot start before ready (e.g.
+// data not yet arrived) and returns its completion time.
+func (s *Server) ServeAt(ready Time, d Duration) Time {
+	if d < 0 {
+		d = 0
+	}
+	start := ready
+	if s.eng.now > start {
+		start = s.eng.now
+	}
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start.Add(d)
+	s.busyTotal += d
+	s.served++
+	return s.busyUntil
+}
+
+// ServeThen enqueues work and schedules fn at its completion time.
+func (s *Server) ServeThen(d Duration, fn func()) Time {
+	done := s.Serve(d)
+	s.eng.At(done, fn)
+	return done
+}
+
+// ServePipelined models a pipelined processing engine: each work item
+// occupies the server for `occupancy` (limiting throughput) but its result
+// is only available `latency` after it begins service (latency >=
+// occupancy usually). fn runs at start+latency. Returns that time.
+func (s *Server) ServePipelined(occupancy, latency Duration, fn func()) Time {
+	if latency < occupancy {
+		latency = occupancy
+	}
+	end := s.Serve(occupancy)
+	ready := end.Add(latency - occupancy)
+	s.eng.At(ready, fn)
+	return ready
+}
+
+// Occupy enqueues work on behalf of the calling process and blocks the
+// process until the work completes (FIFO with other users of the server).
+func (s *Server) Occupy(p *Proc, d Duration) {
+	done := s.Serve(d)
+	p.SleepUntil(done)
+}
+
+// BusyUntil reports the server's current busy horizon.
+func (s *Server) BusyUntil() Time { return s.busyUntil }
+
+// Utilization reports busyTotal / elapsed since time zero.
+func (s *Server) Utilization() float64 {
+	if s.eng.now == 0 {
+		return 0
+	}
+	return s.busyTotal.Seconds() / s.eng.now.Seconds()
+}
+
+// Served reports the number of work items accepted.
+func (s *Server) Served() uint64 { return s.served }
+
+// BusyTotal reports the total service time accepted so far.
+func (s *Server) BusyTotal() Duration { return s.busyTotal }

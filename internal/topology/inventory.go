@@ -1,0 +1,87 @@
+package topology
+
+import "fmt"
+
+// Inventory is the bill of materials for a full-bisection fat tree built
+// from switches of one radix. It is what the cost model prices.
+type Inventory struct {
+	Ports         int   // compute endpoints attached
+	Radix         int   // ports per switch
+	Levels        int   // tree depth
+	SwitchesByLvl []int // index 0 = leaf level
+	NodeCables    int   // endpoint-to-leaf cables
+	TrunkCables   int   // switch-to-switch cables
+}
+
+// Switches reports the total switch count.
+func (inv *Inventory) Switches() int {
+	total := 0
+	for _, n := range inv.SwitchesByLvl {
+		total += n
+	}
+	return total
+}
+
+// Cables reports the total cable count.
+func (inv *Inventory) Cables() int { return inv.NodeCables + inv.TrunkCables }
+
+// Capacity reports the maximum endpoints of an n-level full-bisection fat
+// tree of the given radix: radix * (radix/2)^(n-1).
+func Capacity(radix, levels int) int {
+	if levels < 1 {
+		return 0
+	}
+	cap := radix
+	for i := 1; i < levels; i++ {
+		cap *= radix / 2
+		if cap < 0 { // overflow guard for absurd inputs
+			return 1 << 62
+		}
+	}
+	return cap
+}
+
+// LevelsFor reports the minimum tree depth connecting `ports` endpoints.
+func LevelsFor(ports, radix int) int {
+	n := 1
+	for Capacity(radix, n) < ports {
+		n++
+		if n > 16 {
+			panic(fmt.Sprintf("topology: %d ports unreachable with radix %d", ports, radix))
+		}
+	}
+	return n
+}
+
+// BuildInventory counts the switches and cables of a full-bisection fat
+// tree connecting `ports` endpoints with switches of the given radix.
+//
+// Counting follows the k-ary n-tree construction (k = radix/2): every level
+// below the top needs ceil(ports/k) switches (k down-ports each, k
+// up-ports each); the top level needs ceil(ports/radix) switches (all ports
+// down). Partially populated networks are rounded up to whole switches —
+// matching how real procurements are priced.
+func BuildInventory(ports, radix int) (*Inventory, error) {
+	if ports < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 port, got %d", ports)
+	}
+	if radix < 2 || radix%2 != 0 {
+		return nil, fmt.Errorf("topology: radix must be even and >= 2, got %d", radix)
+	}
+	inv := &Inventory{Ports: ports, Radix: radix, NodeCables: ports}
+	inv.Levels = LevelsFor(ports, radix)
+	if inv.Levels == 1 {
+		inv.SwitchesByLvl = []int{1}
+		return inv, nil
+	}
+	k := radix / 2
+	for lvl := 1; lvl < inv.Levels; lvl++ {
+		inv.SwitchesByLvl = append(inv.SwitchesByLvl, ceilDiv(ports, k))
+	}
+	inv.SwitchesByLvl = append(inv.SwitchesByLvl, ceilDiv(ports, radix))
+	// Each below-top switch contributes k uplink cables.
+	for lvl := 0; lvl < inv.Levels-1; lvl++ {
+		inv.TrunkCables += inv.SwitchesByLvl[lvl] * k
+	}
+	return inv, nil
+}

@@ -1,0 +1,270 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleChassis(t *testing.T) {
+	c, err := NewClos(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Levels != 1 || c.Leaves != 1 {
+		t.Fatalf("got %+v", c)
+	}
+	if c.ChassisHops(0, 31) != 1 {
+		t.Fatal("single chassis should be 1 hop")
+	}
+	r := c.RouteVia(3, 7, 0)
+	if len(r.Links) != 2 || r.Links[0] != c.Injection(3) || r.Links[1] != c.Ejection(7) {
+		t.Fatalf("route = %+v", r)
+	}
+}
+
+func TestTwoLevel(t *testing.T) {
+	c, err := NewClos(96, 24) // k=12, leaves=8, spines=12
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Levels != 2 || c.K != 12 || c.Leaves != 8 || c.Spines != 12 {
+		t.Fatalf("got %+v", c)
+	}
+	// Same-leaf route.
+	if c.ChassisHops(0, 11) != 1 {
+		t.Fatal("nodes 0 and 11 share leaf 0")
+	}
+	// Cross-leaf route.
+	if c.ChassisHops(0, 12) != 3 {
+		t.Fatal("nodes 0 and 12 are on different leaves")
+	}
+	r := c.RouteVia(0, 95, 5)
+	want := []LinkID{c.Injection(0), c.Up(0, 5), c.Down(5, 7), c.Ejection(95)}
+	if len(r.Links) != 4 {
+		t.Fatalf("route = %+v", r)
+	}
+	for i, l := range want {
+		if r.Links[i] != l {
+			t.Fatalf("link %d = %d, want %d", i, r.Links[i], l)
+		}
+	}
+	if r.ChassisHops != 3 {
+		t.Fatalf("hops = %d", r.ChassisHops)
+	}
+}
+
+func TestCapacityErrors(t *testing.T) {
+	if _, err := NewClos(0, 24); err == nil {
+		t.Fatal("0 nodes should error")
+	}
+	if _, err := NewClos(10, 7); err == nil {
+		t.Fatal("odd radix should error")
+	}
+	// radix 8 two-level capacity is 32.
+	if _, err := NewClos(33, 8); err == nil {
+		t.Fatal("over-capacity should error")
+	}
+	if _, err := NewClos(32, 8); err != nil {
+		t.Fatalf("32 nodes on radix 8 should fit: %v", err)
+	}
+}
+
+func TestLinkIDsDistinct(t *testing.T) {
+	c, err := NewClos(48, 16) // k=8, leaves=6, spines=8
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[LinkID]string{}
+	add := func(id LinkID, what string) {
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("link id %d reused: %s and %s", id, prev, what)
+		}
+		seen[id] = what
+	}
+	for n := 0; n < c.Nodes; n++ {
+		add(c.Injection(n), "inj")
+		add(c.Ejection(n), "ej")
+	}
+	for l := 0; l < c.Leaves; l++ {
+		for s := 0; s < c.Spines; s++ {
+			add(c.Up(l, s), "up")
+			add(c.Down(s, l), "down")
+		}
+	}
+	if len(seen) != c.NumLinks() {
+		t.Fatalf("enumerated %d links, NumLinks says %d", len(seen), c.NumLinks())
+	}
+}
+
+func TestDestSpineStable(t *testing.T) {
+	c, _ := NewClos(64, 16)
+	for dst := 0; dst < 64; dst++ {
+		s := c.DestSpine(dst)
+		if s < 0 || s >= c.Spines {
+			t.Fatalf("spine %d out of range", s)
+		}
+		if s != c.DestSpine(dst) {
+			t.Fatal("DestSpine not deterministic")
+		}
+	}
+}
+
+func TestUpLinksFrom(t *testing.T) {
+	c, _ := NewClos(64, 16)
+	ups := c.UpLinksFrom(20)
+	if len(ups) != c.Spines {
+		t.Fatalf("got %d candidates", len(ups))
+	}
+	l := c.LeafOf(20)
+	for s, id := range ups {
+		if id != c.Up(l, s) {
+			t.Fatalf("candidate %d = %d", s, id)
+		}
+	}
+	if c2, _ := NewClos(8, 16); c2.UpLinksFrom(0) != nil {
+		t.Fatal("single chassis has no uplinks")
+	}
+}
+
+// Property: all routes are well-formed — start at src injection, end at dst
+// ejection, and have length 2 or 4.
+func TestRouteProperty(t *testing.T) {
+	c, err := NewClos(128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8, sp uint8) bool {
+		src, dst := int(a)%c.Nodes, int(b)%c.Nodes
+		if src == dst {
+			return true
+		}
+		spine := 0
+		if c.Levels == 2 {
+			spine = int(sp) % c.Spines
+		}
+		r := c.RouteVia(src, dst, spine)
+		if r.Links[0] != c.Injection(src) || r.Links[len(r.Links)-1] != c.Ejection(dst) {
+			return false
+		}
+		return (len(r.Links) == 2 && r.ChassisHops == 1) || (len(r.Links) == 4 && r.ChassisHops == 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityFormula(t *testing.T) {
+	cases := []struct{ radix, levels, want int }{
+		{24, 1, 24},
+		{24, 2, 288},
+		{24, 3, 3456},
+		{96, 1, 96},
+		{96, 2, 4608},
+		{8, 2, 32},
+		{8, 3, 128},
+		{64, 2, 2048},
+	}
+	for _, c := range cases {
+		if got := Capacity(c.radix, c.levels); got != c.want {
+			t.Errorf("Capacity(%d,%d) = %d, want %d", c.radix, c.levels, got, c.want)
+		}
+	}
+}
+
+func TestLevelsFor(t *testing.T) {
+	if LevelsFor(24, 24) != 1 {
+		t.Fatal("24 ports fit one radix-24 switch")
+	}
+	if LevelsFor(25, 24) != 2 {
+		t.Fatal("25 ports need two levels")
+	}
+	if LevelsFor(289, 24) != 3 {
+		t.Fatal("289 ports need three levels")
+	}
+	if LevelsFor(1024, 96) != 2 {
+		t.Fatal("1024 ports on radix 96 need two levels")
+	}
+}
+
+func TestBuildInventorySingle(t *testing.T) {
+	inv, err := BuildInventory(64, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Switches() != 1 || inv.TrunkCables != 0 || inv.NodeCables != 64 {
+		t.Fatalf("got %+v", inv)
+	}
+}
+
+func TestBuildInventoryTwoLevel(t *testing.T) {
+	// 288 ports of radix-24: k=12, leaves=24, top=12, trunks=288.
+	inv, err := BuildInventory(288, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Levels != 2 {
+		t.Fatalf("levels = %d", inv.Levels)
+	}
+	if inv.SwitchesByLvl[0] != 24 || inv.SwitchesByLvl[1] != 12 {
+		t.Fatalf("switches = %v", inv.SwitchesByLvl)
+	}
+	if inv.TrunkCables != 288 {
+		t.Fatalf("trunks = %d", inv.TrunkCables)
+	}
+}
+
+func TestBuildInventoryThreeLevel(t *testing.T) {
+	inv, err := BuildInventory(1024, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Levels != 3 {
+		t.Fatalf("levels = %d", inv.Levels)
+	}
+	// Levels 1,2: ceil(1024/12)=86 each; top ceil(1024/24)=43.
+	if inv.SwitchesByLvl[0] != 86 || inv.SwitchesByLvl[1] != 86 || inv.SwitchesByLvl[2] != 43 {
+		t.Fatalf("switches = %v", inv.SwitchesByLvl)
+	}
+	if inv.TrunkCables != 86*12*2 {
+		t.Fatalf("trunks = %d", inv.TrunkCables)
+	}
+}
+
+// Property: inventory provides enough down-ports at every level.
+func TestInventoryPortFeasibilityProperty(t *testing.T) {
+	f := func(p uint16, rIdx uint8) bool {
+		radixes := []int{8, 16, 24, 32, 64, 96, 288}
+		ports := int(p)%4096 + 1
+		radix := radixes[int(rIdx)%len(radixes)]
+		inv, err := BuildInventory(ports, radix)
+		if err != nil {
+			return false
+		}
+		k := radix / 2
+		// Leaf down-ports cover all endpoints.
+		if inv.Levels == 1 {
+			return inv.SwitchesByLvl[0]*radix >= ports
+		}
+		if inv.SwitchesByLvl[0]*k < ports {
+			return false
+		}
+		// Each non-top level's uplinks are covered by the next level's
+		// down-ports.
+		for lvl := 0; lvl < inv.Levels-1; lvl++ {
+			up := inv.SwitchesByLvl[lvl] * k
+			var down int
+			if lvl+1 == inv.Levels-1 {
+				down = inv.SwitchesByLvl[lvl+1] * radix
+			} else {
+				down = inv.SwitchesByLvl[lvl+1] * k
+			}
+			if down < up-radix { // whole-switch rounding slack
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

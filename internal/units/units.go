@@ -1,0 +1,165 @@
+// Package units defines the time, size, and rate vocabulary shared by the
+// whole simulator.
+//
+// Simulated time is kept in integer picoseconds so that serialization
+// delays at multi-GB/s link rates stay exact: one byte at 1 GB/s is exactly
+// 1000 ps. An int64 of picoseconds covers about 106 days of simulated time,
+// far beyond any experiment in this repository.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an absolute simulated timestamp in picoseconds.
+type Time int64
+
+// Duration is a simulated time span in picoseconds.
+type Duration int64
+
+// Duration constants.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a sentinel "infinitely far in the future" timestamp.
+const Forever Time = math.MaxInt64
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts an absolute timestamp to float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Microseconds converts an absolute timestamp to float64 microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds converts a duration to float64 seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds converts a duration to float64 microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Nanoseconds converts a duration to float64 nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// String renders a duration with an auto-selected unit.
+func (d Duration) String() string {
+	switch abs := d; {
+	case abs < 0:
+		return "-" + (-d).String()
+	case d < Nanosecond:
+		return fmt.Sprintf("%dps", int64(d))
+	case d < Microsecond:
+		return fmt.Sprintf("%.3gns", d.Nanoseconds())
+	case d < Millisecond:
+		return fmt.Sprintf("%.4gus", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.4gms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	}
+}
+
+// Scale multiplies a duration by a dimensionless factor, rounding to the
+// nearest picosecond.
+func (d Duration) Scale(f float64) Duration {
+	return Duration(math.Round(float64(d) * f))
+}
+
+// FromSeconds converts float64 seconds to a Duration.
+func FromSeconds(s float64) Duration {
+	return Duration(math.Round(s * float64(Second)))
+}
+
+// FromMicroseconds converts float64 microseconds to a Duration.
+func FromMicroseconds(us float64) Duration {
+	return Duration(math.Round(us * float64(Microsecond)))
+}
+
+// FromNanoseconds converts float64 nanoseconds to a Duration.
+func FromNanoseconds(ns float64) Duration {
+	return Duration(math.Round(ns * float64(Nanosecond)))
+}
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// Size constants.
+const (
+	Byte Bytes = 1
+	KiB        = 1024 * Byte
+	MiB        = 1024 * KiB
+	GiB        = 1024 * MiB
+)
+
+// String renders a size with an auto-selected binary unit.
+func (b Bytes) String() string {
+	switch {
+	case b < 0:
+		return "-" + (-b).String()
+	case b < KiB:
+		return fmt.Sprintf("%dB", int64(b))
+	case b < MiB:
+		return fmt.Sprintf("%.4gKiB", float64(b)/float64(KiB))
+	case b < GiB:
+		return fmt.Sprintf("%.4gMiB", float64(b)/float64(MiB))
+	default:
+		return fmt.Sprintf("%.4gGiB", float64(b)/float64(GiB))
+	}
+}
+
+// Rate is a data rate. It is stored as bytes per second to keep the
+// arithmetic integral where possible.
+type Rate float64 // bytes per second
+
+// Rate constants, in the decimal units network vendors quote.
+const (
+	BytePerSecond Rate = 1
+	KBps               = 1e3 * BytePerSecond
+	MBps               = 1e6 * BytePerSecond
+	GBps               = 1e9 * BytePerSecond
+)
+
+// MBpsValue reports the rate in decimal megabytes per second, the unit the
+// paper's figures use.
+func (r Rate) MBpsValue() float64 { return float64(r) / 1e6 }
+
+func (r Rate) String() string {
+	switch {
+	case r >= GBps:
+		return fmt.Sprintf("%.4gGB/s", float64(r)/1e9)
+	case r >= MBps:
+		return fmt.Sprintf("%.4gMB/s", float64(r)/1e6)
+	case r >= KBps:
+		return fmt.Sprintf("%.4gKB/s", float64(r)/1e3)
+	default:
+		return fmt.Sprintf("%.4gB/s", float64(r))
+	}
+}
+
+// TimeFor returns the serialization time of n bytes at rate r.
+func (r Rate) TimeFor(n Bytes) Duration {
+	if r <= 0 {
+		return Duration(Forever)
+	}
+	return Duration(math.Round(float64(n) / float64(r) * float64(Second)))
+}
+
+// RateOver computes the achieved rate of moving n bytes in d.
+func RateOver(n Bytes, d Duration) Rate {
+	if d <= 0 {
+		return 0
+	}
+	return Rate(float64(n) / d.Seconds())
+}

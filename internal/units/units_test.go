@@ -1,0 +1,160 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{3 * Nanosecond, "3ns"},
+		{1500 * Nanosecond, "1.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+		{-3 * Nanosecond, "-3ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		b    Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * KiB, "2KiB"},
+		{3 * MiB, "3MiB"},
+		{4 * GiB, "4GiB"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestRateTimeFor(t *testing.T) {
+	// 1 GB/s moves one byte per nanosecond, exactly.
+	if d := (1 * GBps).TimeFor(1); d != Nanosecond {
+		t.Fatalf("1B at 1GB/s = %v", d)
+	}
+	if d := (1 * GBps).TimeFor(1000); d != Microsecond {
+		t.Fatalf("1000B at 1GB/s = %v", d)
+	}
+	// 250 MB/s moves a byte in 4 ns.
+	if d := (250 * MBps).TimeFor(1); d != 4*Nanosecond {
+		t.Fatalf("1B at 250MB/s = %v", d)
+	}
+	if d := Rate(0).TimeFor(100); d != Duration(Forever) {
+		t.Fatalf("zero rate should take forever, got %v", d)
+	}
+}
+
+func TestRateOverRoundTrip(t *testing.T) {
+	r := 552 * MBps
+	n := Bytes(8 * KiB)
+	d := r.TimeFor(n)
+	back := RateOver(n, d)
+	if rel := (float64(back) - float64(r)) / float64(r); rel > 1e-6 || rel < -1e-6 {
+		t.Fatalf("round trip rate %v vs %v", back, r)
+	}
+	if RateOver(100, 0) != 0 {
+		t.Fatal("RateOver with zero duration should be 0")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(5 * Microsecond)
+	t1 := t0.Add(3 * Microsecond)
+	if t1.Sub(t0) != 3*Microsecond {
+		t.Fatal("Add/Sub mismatch")
+	}
+	if t1.Microseconds() != 8 {
+		t.Fatalf("Microseconds = %v", t1.Microseconds())
+	}
+	if t1.Seconds() != 8e-6 {
+		t.Fatalf("Seconds = %v", t1.Seconds())
+	}
+}
+
+func TestScale(t *testing.T) {
+	if d := (10 * Microsecond).Scale(1.5); d != 15*Microsecond {
+		t.Fatalf("Scale = %v", d)
+	}
+	if d := (3 * Nanosecond).Scale(1.0 / 3.0); d != Nanosecond {
+		t.Fatalf("Scale rounding = %v", d)
+	}
+}
+
+func TestConversionConstructors(t *testing.T) {
+	if FromSeconds(1e-6) != Microsecond {
+		t.Fatal("FromSeconds")
+	}
+	if FromMicroseconds(2.5) != 2500*Nanosecond {
+		t.Fatal("FromMicroseconds")
+	}
+	if FromNanoseconds(0.5) != 500*Picosecond {
+		t.Fatal("FromNanoseconds")
+	}
+}
+
+// Property: TimeFor is monotone in n and additive within rounding.
+func TestTimeForMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		r := 900 * MBps
+		ta := r.TimeFor(Bytes(a))
+		tb := r.TimeFor(Bytes(b))
+		if a <= b && ta > tb {
+			return false
+		}
+		sum := r.TimeFor(Bytes(a) + Bytes(b))
+		diff := sum - (ta + tb)
+		return diff >= -2 && diff <= 2 // ±2 ps rounding slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(3 * Microsecond).String(); got != "3us" {
+		t.Fatalf("Time.String = %q", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want string
+	}{
+		{2 * GBps, "2GB/s"},
+		{552 * MBps, "552MB/s"},
+		{3 * KBps, "3KB/s"},
+		{BytePerSecond * 12, "12B/s"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestMBpsValue(t *testing.T) {
+	if v := (552 * MBps).MBpsValue(); v != 552 {
+		t.Fatalf("MBpsValue = %v", v)
+	}
+}
+
+func TestBytesStringNegative(t *testing.T) {
+	if got := Bytes(-2 * KiB).String(); got != "-2KiB" {
+		t.Fatalf("negative bytes = %q", got)
+	}
+}

@@ -1,0 +1,135 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestNewClusterAndRun(t *testing.T) {
+	for _, network := range repro.Networks {
+		c, err := repro.NewCluster(network, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Network() != network {
+			t.Fatalf("network = %v", c.Network())
+		}
+		res, err := c.Run(func(r *repro.Rank) {
+			r.Barrier()
+			next := (r.ID() + 1) % r.Size()
+			prev := (r.ID() + r.Size() - 1) % r.Size()
+			st := r.Sendrecv(next, 0, 4*repro.KiB, prev, 0)
+			if st.Src != prev {
+				t.Errorf("src = %d, want %d", st.Src, prev)
+			}
+			r.Allreduce(64)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatal("no elapsed time")
+		}
+	}
+}
+
+func TestPublicMicrobenchmarks(t *testing.T) {
+	pts, err := repro.PingPong(repro.QuadricsElan4, []repro.Bytes{0, 1024}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Latency <= 0 {
+		t.Fatalf("points = %+v", pts)
+	}
+	st, err := repro.Streaming(repro.InfiniBand4X, []repro.Bytes{1024}, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[0].Bandwidth <= 0 {
+		t.Fatal("no streaming bandwidth")
+	}
+	be, err := repro.BEff(repro.QuadricsElan4, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.PerProcess <= 0 {
+		t.Fatal("no b_eff")
+	}
+}
+
+func TestExperimentListing(t *testing.T) {
+	exps := repro.Experiments()
+	if len(exps) < 17 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	out, err := repro.RunExperiment("table2", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "$995") {
+		t.Fatalf("table2 output missing the paper's HCA price:\n%s", out)
+	}
+	if _, err := repro.RunExperiment("bogus", true); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestPublicCostModel(t *testing.T) {
+	p := repro.Prices()
+	elan, err := repro.PriceElan(p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := repro.PriceIB(p, 32, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combo, err := repro.PriceIBCombo(p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elan.PerPort() <= 0 || ib.PerPort() <= 0 {
+		t.Fatal("non-positive prices")
+	}
+	if combo.NetworkTotal() > ib.NetworkTotal() {
+		t.Fatal("combo should not exceed the 96-port design at 32 nodes")
+	}
+}
+
+func TestDefaultSizesSweep(t *testing.T) {
+	sizes := repro.DefaultSizes()
+	if sizes[0] != 0 || sizes[len(sizes)-1] != 4*repro.MiB {
+		t.Fatalf("size sweep = %v...%v", sizes[0], sizes[len(sizes)-1])
+	}
+}
+
+func TestPublicProfileAndTrace(t *testing.T) {
+	c, err := repro.NewCluster(repro.QuadricsElan4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableTrace(64)
+	_, err = c.Run(func(r *repro.Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, 4*repro.KiB)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Profile()
+	if p.Messages == 0 || p.Bytes != 4*repro.KiB {
+		t.Fatalf("profile: %+v", p)
+	}
+	events, total := c.Trace()
+	if total == 0 || len(events) == 0 {
+		t.Fatal("no trace")
+	}
+	if out := repro.FormatTrace(events); !strings.Contains(out, "send-post") {
+		t.Fatalf("trace format:\n%s", out)
+	}
+}
