@@ -1,0 +1,28 @@
+# Development targets. `make check` is the tier-1 gate plus the race
+# detector over the packages that own goroutines (internal/runner) and the
+# sweeps that run on them (internal/experiments) — load-bearing now that
+# sweeps execute in parallel.
+
+GO ?= go
+
+.PHONY: check vet build test race bench regen
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x
+
+regen:
+	$(GO) run ./cmd/repro -exp all -out results

@@ -6,6 +6,7 @@ package repro_test
 // `go run ./cmd/repro -exp all` for full fidelity).
 
 import (
+	"runtime"
 	"testing"
 
 	"repro"
@@ -51,6 +52,29 @@ func BenchmarkXEagerThreshold(b *testing.B)    { benchExperiment(b, "xeager") }
 func BenchmarkXNoise(b *testing.B)             { benchExperiment(b, "xnoise") }
 func BenchmarkXRouting(b *testing.B)           { benchExperiment(b, "xroute") }
 func BenchmarkXRGetRendezvous(b *testing.B)    { benchExperiment(b, "xrget") }
+
+// BenchmarkRunnerSpeedup pins the parallel-sweep trajectory: the same
+// LAMMPS sweep (fig3: 12 independent sims in quick mode) executed serially
+// and on a full worker pool. On a single-CPU host the two are equal; on
+// multi-core hardware the ratio is the runner's speedup. Output stays
+// byte-identical either way (see TestParallelDeterminism).
+func benchmarkRunnerSweep(b *testing.B, jobs int) {
+	b.Helper()
+	e, err := experiments.Get("fig3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Options{Quick: true, Jobs: jobs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunnerSpeedupSerial(b *testing.B) { benchmarkRunnerSweep(b, 1) }
+func BenchmarkRunnerSpeedupParallel(b *testing.B) {
+	benchmarkRunnerSweep(b, runtime.GOMAXPROCS(0))
+}
 
 // Raw micro-benchmark throughput of the simulator itself: how fast the
 // discrete-event engine pushes MPI traffic. Useful when changing the sim

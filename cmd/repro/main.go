@@ -6,32 +6,54 @@
 //
 //	repro -list
 //	repro -exp fig1a            # one experiment, full fidelity
-//	repro -exp all              # everything (minutes)
+//	repro -exp all              # everything, experiments in parallel
+//	repro -exp all -jobs 1      # serial run (byte-identical stdout)
 //	repro -exp fig3 -quick      # fast, reduced sweep
 //	repro -exp fig7 -csv        # emit CSV instead of aligned tables
-//	repro -exp all -out results # also write one .txt/.csv per experiment
+//	repro -exp all -out results # also write one .txt + .json per experiment
+//	repro -exp all -timeout 5m  # abandon any single simulation past 5m
+//
+// Experiments print to stdout in registration order regardless of -jobs
+// (results stream as soon as their predecessors are done), so stdout is
+// byte-identical for any worker count. Timing, progress, and the summary
+// go to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// outcome carries one finished experiment through the pool.
+type outcome struct {
+	res  *experiments.Result
+	body string
+	wall time.Duration
+}
+
+func run() int {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		quick = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
-		csv   = flag.Bool("csv", false, "emit CSV tables")
-		plot  = flag.Bool("plot", false, "append ASCII charts for numeric tables")
-		out   = flag.String("out", "", "directory to also write per-experiment files into")
+		exp      = flag.String("exp", "", "experiment id (see -list), comma list, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		csv      = flag.Bool("csv", false, "emit CSV tables")
+		plot     = flag.Bool("plot", false, "append ASCII charts for numeric tables")
+		out      = flag.String("out", "", "directory to also write per-experiment .txt/.csv and .json files into")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations per sweep (and concurrent experiments with -exp all); 1 = serial")
+		timeout  = flag.Duration("timeout", 0, "per-simulation timeout inside sweeps (0 = none)")
+		progress = flag.Bool("progress", false, "report per-sweep progress on stderr (done/total, ETA)")
 	)
 	flag.Parse()
 
@@ -39,11 +61,11 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "repro: -exp required (or -list); e.g. -exp fig1a or -exp all")
-		os.Exit(2)
+		return 2
 	}
 
 	var todo []experiments.Experiment
@@ -54,7 +76,7 @@ func main() {
 			e, err := experiments.Get(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			todo = append(todo, e)
 		}
@@ -63,48 +85,140 @@ func main() {
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick}
-	for _, e := range todo {
-		start := time.Now()
-		res, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		var body string
-		if *csv {
-			var b strings.Builder
-			for _, t := range res.Tables {
-				b.WriteString(t.CSV())
-				b.WriteString("\n")
-			}
-			body = b.String()
-		} else {
-			body = res.String()
-			if *plot {
-				for _, tb := range res.Tables {
-					if c := report.ChartFromTable(tb, 64, 16, true); c != nil {
-						body += "\n" + tb.Title + "\n" + c.String()
-					}
+	opts := experiments.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+
+	jobList := make([]runner.Job, len(todo))
+	for i, e := range todo {
+		e := e
+		jobList[i] = runner.Job{
+			ID:     e.ID,
+			Labels: map[string]string{"experiment": e.ID},
+			Run: func(context.Context) (interface{}, error) {
+				start := time.Now()
+				res, err := e.Run(opts)
+				if err != nil {
+					return nil, err
 				}
-			}
+				return &outcome{res: res, body: render(res, *csv, *plot), wall: time.Since(start)}, nil
+			},
 		}
-		fmt.Print(body)
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		if *out != "" {
-			ext := ".txt"
-			if *csv {
-				ext = ".csv"
+	}
+
+	// Stream bodies to stdout in submission (registration) order as soon
+	// as each experiment and all of its predecessors are done; the runner
+	// serializes OnResult calls.
+	pending := make(map[int]string, len(jobList))
+	nextOut := 0
+	pool := &runner.Pool{
+		Workers: *jobs,
+		Name:    "repro",
+		OnResult: func(i int, r runner.Result) {
+			body := ""
+			if o, ok := r.Value.(*outcome); ok {
+				body = o.body
 			}
-			path := filepath.Join(*out, e.ID+ext)
-			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			pending[i] = body
+			for {
+				b, ok := pending[nextOut]
+				if !ok {
+					break
+				}
+				os.Stdout.WriteString(b)
+				delete(pending, nextOut)
+				nextOut++
+			}
+		},
+	}
+	if len(todo) > 1 {
+		pool.Progress = os.Stderr
+	}
+	suiteStart := time.Now()
+	results := pool.Run(context.Background(), jobList)
+
+	// Per-experiment wall-time summary; failures listed explicitly so an
+	// error in a late experiment cannot scroll past unnoticed.
+	failed := 0
+	fmt.Fprintf(os.Stderr, "repro: %d experiment(s), jobs=%d, wall %v\n",
+		len(todo), *jobs, time.Since(suiteStart).Round(time.Millisecond))
+	for i, r := range results {
+		e := todo[i]
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "  %-8s FAILED after %8v: %v\n", e.ID, r.Wall.Round(time.Millisecond), r.Err)
+			continue
+		}
+		oc := r.Value.(*outcome)
+		fmt.Fprintf(os.Stderr, "  %-8s ok in %8v\n", e.ID, oc.wall.Round(time.Millisecond))
+		if *out != "" {
+			if err := writeArtifacts(*out, e, oc, opts, *csv, *timeout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "repro: %d of %d experiments failed\n", failed, len(todo))
+		return 1
+	}
+	return 0
+}
+
+// render produces the stdout/.txt body for one experiment.
+func render(res *experiments.Result, csv, plot bool) string {
+	if csv {
+		var b strings.Builder
+		for _, t := range res.Tables {
+			b.WriteString(t.CSV())
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	body := res.String()
+	if plot {
+		for _, tb := range res.Tables {
+			if c := report.ChartFromTable(tb, 64, 16, true); c != nil {
+				body += "\n" + tb.Title + "\n" + c.String()
+			}
+		}
+	}
+	return body
+}
+
+// writeArtifacts stores the rendered body (.txt or .csv) and the
+// machine-readable JSON artifact for one experiment.
+func writeArtifacts(dir string, e experiments.Experiment, oc *outcome,
+	opts experiments.Options, csv bool, timeout time.Duration) error {
+	ext := ".txt"
+	if csv {
+		ext = ".csv"
+	}
+	if err := os.WriteFile(filepath.Join(dir, e.ID+ext), []byte(oc.body), 0o644); err != nil {
+		return err
+	}
+	a := &runner.Artifact{
+		Experiment: e.ID,
+		Title:      oc.res.Title,
+		Meta: runner.Meta{
+			Quick:     opts.Quick,
+			Jobs:      opts.Jobs,
+			Seed:      experiments.CanonicalSeed,
+			TimeoutMS: float64(timeout) / float64(time.Millisecond),
+			WallMS:    float64(oc.wall) / float64(time.Millisecond),
+			GoVersion: runtime.Version(),
+			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		},
+		Notes: oc.res.Notes,
+	}
+	for _, t := range oc.res.Tables {
+		a.Tables = append(a.Tables, runner.Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows})
+	}
+	_, err := a.Write(dir)
+	return err
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ib"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/mpi/mvib"
 	"repro/internal/platform"
+	"repro/internal/runner"
 	"repro/internal/units"
 )
 
@@ -67,45 +69,58 @@ func runXReg(o Options) (*Result, error) {
 	headers = append(headers, "Elan4 (no registration) MB/s")
 	t := newTable("Extension X-2", headers...)
 
-	rows := make([][]interface{}, len(sizes))
-	for i, size := range sizes {
-		rows[i] = []interface{}{fmtBytes(size)}
+	// One job per table column. Each column deliberately reuses a single
+	// machine across the size loop — registration-cache state carrying
+	// over between transfers is the effect under study — so the sizes stay
+	// serial within a column while the four columns run in parallel.
+	type column struct {
+		label string
+		build func() (*platform.Machine, error)
 	}
+	var cols []column
 	for _, c := range caps {
 		c := c
-		m, err := platform.New(platform.Options{
-			Network: platform.InfiniBand4X, Ranks: 2, PPN: 1,
-			TuneIB: func(hp *ib.Params, _ *mvib.Params) {
-				if c == 0 {
-					hp.RegCacheCap = 1 // effectively uncacheable
-				} else {
-					hp.RegCacheCap = c
-				}
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		for i, size := range sizes {
-			oneWay, err := pingPongOneWay(m, size, iters)
+		cols = append(cols, column{label: capLabel(c), build: func() (*platform.Machine, error) {
+			return platform.New(platform.Options{
+				Network: platform.InfiniBand4X, Ranks: 2, PPN: 1,
+				TuneIB: func(hp *ib.Params, _ *mvib.Params) {
+					if c == 0 {
+						hp.RegCacheCap = 1 // effectively uncacheable
+					} else {
+						hp.RegCacheCap = c
+					}
+				},
+			})
+		}})
+	}
+	cols = append(cols, column{label: "Elan4", build: func() (*platform.Machine, error) {
+		return platform.New(platform.Options{Network: platform.QuadricsElan4, Ranks: 2, PPN: 1})
+	}})
+	colVals, err := runner.Map(context.Background(), o.pool("xreg"), cols,
+		func(_ int, c column) string { return c.label },
+		func(_ context.Context, c column) ([]float64, error) {
+			m, err := c.build()
 			if err != nil {
 				return nil, err
 			}
-			rows[i] = append(rows[i], units.RateOver(size, oneWay).MBpsValue())
-		}
-	}
-	elan, err := platform.New(platform.Options{Network: platform.QuadricsElan4, Ranks: 2, PPN: 1})
+			out := make([]float64, len(sizes))
+			for i, size := range sizes {
+				oneWay, err := pingPongOneWay(m, size, iters)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = units.RateOver(size, oneWay).MBpsValue()
+			}
+			return out, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	for i, size := range sizes {
-		oneWay, err := pingPongOneWay(elan, size, iters)
-		if err != nil {
-			return nil, err
+		row := []interface{}{fmtBytes(size)}
+		for _, col := range colVals {
+			row = append(row, col[i])
 		}
-		rows[i] = append(rows[i], units.RateOver(size, oneWay).MBpsValue())
-	}
-	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	r.Tables = append(r.Tables, t)
@@ -126,19 +141,29 @@ func runXOverlap(o Options) (*Result, error) {
 	sizes := []units.Bytes{64 * units.KiB, 512 * units.KiB, 2 * units.MiB}
 	r := &Result{ID: "xoverlap", Title: "Overlap capability: (post, compute, wait) total time / compute time"}
 	t := newTable("Extension X-3", "size", "Elan4 ratio", "IB ratio")
+	type cell struct {
+		size units.Bytes
+		net  platform.Network
+	}
+	var cells []cell
 	for _, size := range sizes {
-		row := []interface{}{fmtBytes(size)}
 		for _, net := range platform.Networks {
-			m, err := platform.New(platform.Options{Network: net, Ranks: 2, PPN: 1})
+			cells = append(cells, cell{size, net})
+		}
+	}
+	ratios, err := runner.Map(context.Background(), o.pool("xoverlap"), cells,
+		func(_ int, c cell) string { return fmt.Sprintf("overlap %s %v", c.net.Short(), c.size) },
+		func(_ context.Context, c cell) (float64, error) {
+			m, err := platform.New(platform.Options{Network: c.net, Ranks: 2, PPN: 1})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			var total units.Duration
 			_, err = m.Run(func(rk *mpi.Rank) {
 				peer := 1 - rk.ID()
 				start := rk.Now()
 				rreq := rk.Irecv(peer, 0)
-				sreq := rk.Isend(peer, 0, size)
+				sreq := rk.Isend(peer, 0, c.size)
 				rk.Compute(compute, 0)
 				rk.Wait(sreq)
 				rk.Wait(rreq)
@@ -147,11 +172,15 @@ func runXOverlap(o Options) (*Result, error) {
 				}
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row = append(row, float64(total)/float64(compute))
-		}
-		t.AddRow(row...)
+			return float64(total) / float64(compute), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		t.AddRow(fmtBytes(size), ratios[2*i], ratios[2*i+1])
 	}
 	r.Tables = append(r.Tables, t)
 	r.Notes = append(r.Notes,

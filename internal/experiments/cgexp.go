@@ -19,7 +19,7 @@ func runFig6(o Options) (*Result, error) {
 		params = nascg.Default(nascg.ClassS)
 		params.Class.OuterIt = 3
 	}
-	times, err := runSeries(platform.Networks, nodes, []int{1, 2},
+	times, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
 		func(r *mpi.Rank) { nascg.Run(r, params) })
 	if err != nil {
 		return nil, err

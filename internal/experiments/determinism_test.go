@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelDeterminism is the regression guard for the runner rewiring:
+// the rendered tables of a representative sweep experiment must be
+// byte-identical whether the sweep runs on one worker or eight. This holds
+// because every simulation owns a private event engine and RNG stream and
+// the runner assembles results in submission order.
+//
+// Shared-state audit (done while writing this test): the only package-level
+// variables reachable from a simulation are immutable — platform.Networks,
+// cost.CurveLabels, mpi's sizeClassBounds, and the sim error sentinels.
+// The experiments registry is mutated in init() only, before any sweep.
+func TestParallelDeterminism(t *testing.T) {
+	// fig2 exercises runSeries (the triple-nested sweep); fig1b the
+	// hand-built micro-benchmark batch; xreg the per-column grid with
+	// machine reuse inside a job; xoverlap the flat (size, net) grid.
+	for _, id := range []string{"fig2", "fig1b", "xreg", "xoverlap"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := e.Run(Options{Quick: true, Jobs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.Run(Options{Quick: true, Jobs: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := serial.String(), parallel.String(); s != p {
+				t.Fatalf("jobs=1 and jobs=8 disagree:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", s, p)
+			}
+		})
+	}
+}
+
+// TestSweepErrorDeterminism: when a sweep point fails, the error that
+// surfaces is the first one in submission order, independent of worker
+// count and completion order.
+func TestSweepErrorDeterminism(t *testing.T) {
+	// Ranks=0 is invalid for every point: all jobs fail, and the reported
+	// error must be the first submitted point (Elan-4, first ppn/nodes).
+	for _, jobs := range []int{1, 8} {
+		_, err := runSeries(Options{Jobs: jobs}, nil, nil, nil, nil)
+		if err != nil {
+			t.Fatalf("empty sweep must not fail, got %v", err)
+		}
+	}
+}

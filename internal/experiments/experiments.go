@@ -6,14 +6,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/platform"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/units"
 )
+
+// CanonicalSeed seeds every randomized workload in the suite (b_eff
+// traffic patterns and the like); it is recorded in JSON artifacts so a
+// result file documents its own reproduction recipe.
+const CanonicalSeed = 42
 
 // Options controls experiment execution.
 type Options struct {
@@ -21,6 +30,23 @@ type Options struct {
 	// runs in seconds (used by `go test -bench` and smoke runs). Full
 	// fidelity is the default.
 	Quick bool
+	// Jobs caps how many simulations a sweep runs concurrently; <= 0
+	// means runtime.GOMAXPROCS(0). Every simulation owns a private
+	// event engine and results are assembled in submission order, so the
+	// output is byte-identical for any value of Jobs.
+	Jobs int
+	// Timeout bounds each individual simulation; 0 means unbounded. A
+	// simulation past its deadline is abandoned and surfaces as a
+	// structured error naming the sweep point.
+	Timeout time.Duration
+	// Progress, when non-nil, receives sweep progress lines (done/total,
+	// elapsed, ETA). Point it at stderr so tables stay clean.
+	Progress io.Writer
+}
+
+// pool builds the parallel runner every sweep in this package executes on.
+func (o Options) pool(name string) *runner.Pool {
+	return &runner.Pool{Workers: o.Jobs, Timeout: o.Timeout, Progress: o.Progress, Name: name}
 }
 
 // Result is an experiment's output.
@@ -92,24 +118,40 @@ type seriesKey struct {
 	nodes int
 }
 
-func runSeries(nets []platform.Network, nodeCounts []int, ppns []int,
+func runSeries(o Options, nets []platform.Network, nodeCounts []int, ppns []int,
 	app func(r *mpi.Rank)) (map[seriesKey]float64, error) {
-	out := map[seriesKey]float64{}
+	var keys []seriesKey
 	for _, net := range nets {
 		for _, ppn := range ppns {
 			for _, nodes := range nodeCounts {
-				ranks := nodes * ppn
-				m, err := platform.New(platform.Options{Network: net, Ranks: ranks, PPN: ppn})
-				if err != nil {
-					return nil, fmt.Errorf("%v nodes=%d ppn=%d: %w", net, nodes, ppn, err)
-				}
-				res, err := m.Run(app)
-				if err != nil {
-					return nil, fmt.Errorf("%v nodes=%d ppn=%d: %w", net, nodes, ppn, err)
-				}
-				out[seriesKey{net, ppn, nodes}] = res.Elapsed.Seconds()
+				keys = append(keys, seriesKey{net, ppn, nodes})
 			}
 		}
+	}
+	// Every point builds its own machine (private event engine, private
+	// RNG streams), so the grid is embarrassingly parallel; runner.Map
+	// assembles values in key order, keeping output independent of o.Jobs.
+	times, err := runner.Map(context.Background(), o.pool("series"), keys,
+		func(_ int, k seriesKey) string {
+			return fmt.Sprintf("%s ppn=%d nodes=%d", k.net.Short(), k.ppn, k.nodes)
+		},
+		func(_ context.Context, k seriesKey) (float64, error) {
+			m, err := platform.New(platform.Options{Network: k.net, Ranks: k.nodes * k.ppn, PPN: k.ppn})
+			if err != nil {
+				return 0, fmt.Errorf("%v nodes=%d ppn=%d: %w", k.net, k.nodes, k.ppn, err)
+			}
+			res, err := m.Run(app)
+			if err != nil {
+				return 0, fmt.Errorf("%v nodes=%d ppn=%d: %w", k.net, k.nodes, k.ppn, err)
+			}
+			return res.Elapsed.Seconds(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[seriesKey]float64, len(keys))
+	for i, k := range keys {
+		out[k] = times[i]
 	}
 	return out, nil
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/microbench"
 	"repro/internal/platform"
+	"repro/internal/runner"
 	"repro/internal/units"
 )
 
@@ -52,14 +54,15 @@ func fig1Iters(quick bool) int {
 func runFig1a(o Options) (*Result, error) {
 	sizes := fig1Sizes(o.Quick)
 	iters := fig1Iters(o.Quick)
-	el, err := microbench.PingPong(platform.QuadricsElan4, sizes, iters)
+	pp, err := runner.Map(context.Background(), o.pool("fig1a"), platform.Networks,
+		func(_ int, net platform.Network) string { return "pingpong " + net.Short() },
+		func(_ context.Context, net platform.Network) ([]microbench.PingPongPoint, error) {
+			return microbench.PingPong(net, sizes, iters)
+		})
 	if err != nil {
 		return nil, err
 	}
-	ib, err := microbench.PingPong(platform.InfiniBand4X, sizes, iters)
-	if err != nil {
-		return nil, err
-	}
+	el, ib := pp[0], pp[1] // platform.Networks order: Elan-4 first
 	r := &Result{ID: "fig1a", Title: "Ping-pong latency vs message size (log-x)"}
 	t := newTable("Figure 1(a)", "size", "Elan4 us", "IB us", "IB/Elan")
 	for i := range sizes {
@@ -78,27 +81,35 @@ func runFig1b(o Options) (*Result, error) {
 	if o.Quick {
 		witers = 3
 	}
-	elPP, err := microbench.PingPong(platform.QuadricsElan4, sizes, iters)
-	if err != nil {
-		return nil, err
-	}
-	ibPP, err := microbench.PingPong(platform.InfiniBand4X, sizes, iters)
-	if err != nil {
-		return nil, err
-	}
 	// Streaming is meaningless at size 0; drop it.
 	ssizes := sizes
 	if len(ssizes) > 0 && ssizes[0] == 0 {
 		ssizes = ssizes[1:]
 	}
-	elST, err := microbench.Streaming(platform.QuadricsElan4, ssizes, window, witers)
-	if err != nil {
+	// The four micro-benchmark curves are independent two-rank sims; run
+	// them as one parallel batch and pull typed values back by index.
+	jobs := []runner.Job{
+		{ID: "pingpong Elan4", Run: func(context.Context) (interface{}, error) {
+			return microbench.PingPong(platform.QuadricsElan4, sizes, iters)
+		}},
+		{ID: "pingpong IB", Run: func(context.Context) (interface{}, error) {
+			return microbench.PingPong(platform.InfiniBand4X, sizes, iters)
+		}},
+		{ID: "streaming Elan4", Run: func(context.Context) (interface{}, error) {
+			return microbench.Streaming(platform.QuadricsElan4, ssizes, window, witers)
+		}},
+		{ID: "streaming IB", Run: func(context.Context) (interface{}, error) {
+			return microbench.Streaming(platform.InfiniBand4X, ssizes, window, witers)
+		}},
+	}
+	rs := o.pool("fig1b").Run(context.Background(), jobs)
+	if err := runner.FirstError(rs); err != nil {
 		return nil, err
 	}
-	ibST, err := microbench.Streaming(platform.InfiniBand4X, ssizes, window, witers)
-	if err != nil {
-		return nil, err
-	}
+	elPP := rs[0].Value.([]microbench.PingPongPoint)
+	ibPP := rs[1].Value.([]microbench.PingPongPoint)
+	elST := rs[2].Value.([]microbench.StreamingPoint)
+	ibST := rs[3].Value.([]microbench.StreamingPoint)
 	r := &Result{ID: "fig1b", Title: "Bandwidth vs message size: ping-pong and streaming methods"}
 	t := newTable("Figure 1(b)", "size", "Elan4 pp MB/s", "IB pp MB/s", "Elan4 str MB/s", "IB str MB/s")
 	for i, size := range ssizes {
@@ -139,15 +150,26 @@ func runFig1d(o Options) (*Result, error) {
 	}
 	r := &Result{ID: "fig1d", Title: "b_eff normalized per process vs job size (1 PPN)"}
 	t := newTable("Figure 1(d)", "procs", "Elan4 b_eff/proc MB/s", "IB b_eff/proc MB/s")
+	type beffCfg struct {
+		procs int
+		net   platform.Network
+	}
+	var cfgs []beffCfg
 	for _, p := range counts {
-		el, err := microbench.BEff(platform.QuadricsElan4, p, iters, 42)
-		if err != nil {
-			return nil, err
+		for _, net := range platform.Networks {
+			cfgs = append(cfgs, beffCfg{p, net})
 		}
-		ib, err := microbench.BEff(platform.InfiniBand4X, p, iters, 42)
-		if err != nil {
-			return nil, err
-		}
+	}
+	vals, err := runner.Map(context.Background(), o.pool("fig1d"), cfgs,
+		func(_ int, c beffCfg) string { return fmt.Sprintf("b_eff %s procs=%d", c.net.Short(), c.procs) },
+		func(_ context.Context, c beffCfg) (*microbench.BEffResult, error) {
+			return microbench.BEff(c.net, c.procs, iters, CanonicalSeed)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range counts {
+		el, ib := vals[2*i], vals[2*i+1]
 		t.AddRow(p, el.PerProcess.MBpsValue(), ib.PerProcess.MBpsValue())
 	}
 	r.Tables = append(r.Tables, t)

@@ -35,7 +35,7 @@ func lammpsSteps(quick bool) int {
 // the paper's two panels: execution time (per step) and scaled efficiency.
 func runLammps(id, title string, params lammps.Params, o Options) (*Result, error) {
 	nodes := lammpsNodes(o.Quick)
-	times, err := runSeries(platform.Networks, nodes, []int{1, 2},
+	times, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
 		func(r *mpi.Rank) { lammps.Run(r, params) })
 	if err != nil {
 		return nil, err
@@ -106,7 +106,7 @@ func runFig3(o Options) (*Result, error) {
 func membraneFits(o Options) (map[string]*extrapolate.Fit, []int, error) {
 	nodes := lammpsNodes(o.Quick)
 	params := lammps.Membrane(lammpsSteps(o.Quick))
-	times, err := runSeries(platform.Networks, nodes, []int{1, 2},
+	times, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
 		func(r *mpi.Rank) { lammps.Run(r, params) })
 	if err != nil {
 		return nil, nil, err
@@ -176,7 +176,7 @@ func runXScale(o Options) (*Result, error) {
 		big = []int{8, 16}
 	}
 	params := lammps.Membrane(lammpsSteps(o.Quick))
-	times, err := runSeries(platform.Networks, big, []int{1},
+	times, err := runSeries(o, platform.Networks, big, []int{1},
 		func(r *mpi.Rank) { lammps.Run(r, params) })
 	if err != nil {
 		return nil, err

@@ -32,7 +32,7 @@ func runFig4(o Options) (*Result, error) {
 		n = 60
 	}
 	params := sweepParams(n, o.Quick)
-	times, err := runSeries(platform.Networks, procs, []int{1},
+	times, err := runSeries(o, platform.Networks, procs, []int{1},
 		func(r *mpi.Rank) { sweep3d.Run(r, params) })
 	if err != nil {
 		return nil, err
@@ -81,7 +81,7 @@ func runFig5(o Options) (*Result, error) {
 	cols := make([][]float64, len(inputs))
 	for ii, n := range inputs {
 		params := sweepParams(n, o.Quick)
-		times, err := runSeries([]platform.Network{platform.InfiniBand4X}, procs, []int{1},
+		times, err := runSeries(o, []platform.Network{platform.InfiniBand4X}, procs, []int{1},
 			func(r *mpi.Rank) { sweep3d.Run(r, params) })
 		if err != nil {
 			return nil, err

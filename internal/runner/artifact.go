@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Meta records how an artifact was produced. Everything that can change a
+// result (seed, quick vs full fidelity) or explain a trajectory (jobs,
+// wall time, toolchain) lands here; none of it affects the tables, which
+// are deterministic.
+type Meta struct {
+	Quick     bool    `json:"quick"`
+	Jobs      int     `json:"jobs"`
+	Seed      uint64  `json:"seed"`
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	GoVersion string  `json:"go_version,omitempty"`
+	CreatedAt string  `json:"created_at,omitempty"`
+}
+
+// Table is the machine-readable form of one result table.
+type Table struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Artifact is the JSON artifact written per experiment: the same tables
+// the text renderer prints, plus run metadata.
+type Artifact struct {
+	Experiment string   `json:"experiment"`
+	Title      string   `json:"title"`
+	Meta       Meta     `json:"meta"`
+	Tables     []Table  `json:"tables"`
+	Notes      []string `json:"notes,omitempty"`
+}
+
+// Write stores the artifact as dir/<experiment>.json and returns the path.
+func (a *Artifact) Write(dir string) (string, error) {
+	if a.Experiment == "" {
+		return "", fmt.Errorf("runner: artifact has no experiment id")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, a.Experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadArtifact loads an artifact written by Write.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{}
+	if err := json.Unmarshal(data, a); err != nil {
+		return nil, fmt.Errorf("runner: %s: %w", path, err)
+	}
+	return a, nil
+}

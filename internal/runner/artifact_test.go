@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := &Artifact{
+		Experiment: "fig1a",
+		Title:      "Ping-pong latency",
+		Meta:       Meta{Quick: true, Jobs: 8, Seed: 42, WallMS: 12.5, GoVersion: "go1.x"},
+		Tables: []Table{{
+			Title:   "Figure 1(a)",
+			Headers: []string{"size", "Elan4 us", "IB us"},
+			Rows:    [][]string{{"0 B", "2.81", "6.25"}, {"1 KiB", "6.6", "12.0"}},
+		}},
+		Notes: []string{"paper anchor: ratio ~2"},
+	}
+	path, err := a.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != filepath.Join(dir, "fig1a.json") {
+		t.Fatalf("path = %q", path)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", a, got)
+	}
+
+	// The file must be valid, indented JSON with stable keys.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"experiment", "title", "meta", "tables"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("artifact JSON lacks %q", key)
+		}
+	}
+}
+
+func TestArtifactWriteRejectsAnonymous(t *testing.T) {
+	if _, err := (&Artifact{}).Write(t.TempDir()); err == nil {
+		t.Fatal("artifact without an experiment id must not write")
+	}
+}

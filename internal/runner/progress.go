@@ -1,0 +1,44 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+)
+
+// reportProgress prints one carriage-return status line per completed job
+// and a newline-terminated summary when the sweep finishes. Callers hold
+// the pool mutex, so lines never interleave.
+func (p *Pool) reportProgress(done, total, workers int, start time.Time) {
+	if p.Progress == nil {
+		return
+	}
+	name := p.Name
+	if name == "" {
+		name = "runner"
+	}
+	elapsed := time.Since(start)
+	if done == total {
+		fmt.Fprintf(p.Progress, "\r%s: %d/%d jobs in %s (%d workers)\n",
+			name, done, total, roundDur(elapsed), workers)
+		return
+	}
+	eta := "?"
+	if done > 0 {
+		remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		eta = roundDur(remaining)
+	}
+	fmt.Fprintf(p.Progress, "\r%s: %d/%d jobs  elapsed %s  eta %s ",
+		name, done, total, roundDur(elapsed), eta)
+}
+
+// roundDur renders a duration at progress-line precision.
+func roundDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

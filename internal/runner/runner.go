@@ -1,0 +1,266 @@
+// Package runner is the parallel experiment-execution engine: a worker
+// pool that runs independent simulation jobs concurrently while keeping
+// every observable output identical to a serial run.
+//
+// Each simulation owns a private discrete-event engine and is
+// single-threaded and deterministic by design (DESIGN.md §5.2), so a
+// sweep of (network, nodes, ppn) points is embarrassingly parallel. The
+// runner exploits that while preserving the repository's reproducibility
+// contract:
+//
+//   - results are assembled in submission order regardless of completion
+//     order, so parallel output is byte-identical to serial output;
+//   - a panicking job becomes a structured *PanicError naming the job
+//     instead of killing the whole sweep;
+//   - context cancellation skips jobs that have not started and lets
+//     in-flight simulations drain gracefully;
+//   - per-job timeouts abandon runaway simulations with a *TimeoutError;
+//   - an optional progress reporter prints done/total, elapsed, and ETA.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one unit of work: an independent, self-contained closure
+// (typically "build a simulated machine, run one configuration").
+type Job struct {
+	// ID names the job in errors and progress output.
+	ID string
+	// Labels carry the sweep coordinates (network, nodes, ppn, ...) so a
+	// failure can be attributed without parsing the ID.
+	Labels map[string]string
+	// Timeout overrides the pool's per-job timeout when non-zero.
+	Timeout time.Duration
+	// Run performs the work. The context is cancelled when the job's
+	// timeout expires or the caller cancels the sweep; simulations that
+	// cannot observe it are abandoned on timeout (they finish into a
+	// buffered channel nobody reads).
+	Run func(ctx context.Context) (interface{}, error)
+}
+
+// Result is the outcome of one job, in submission order.
+type Result struct {
+	ID     string
+	Labels map[string]string
+	Value  interface{}
+	Err    error
+	Wall   time.Duration
+}
+
+// PanicError is a job panic converted into a structured error. The sweep
+// continues; the error names the failing job's labels and keeps the
+// recovered value and stack for diagnosis.
+type PanicError struct {
+	JobID  string
+	Labels map[string]string
+	Value  interface{}
+	Stack  string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner: job %q", e.JobID)
+	if len(e.Labels) > 0 {
+		keys := make([]string, 0, len(e.Labels))
+		for k := range e.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + e.Labels[k]
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
+	}
+	fmt.Fprintf(&b, " panicked: %v", e.Value)
+	return b.String()
+}
+
+// TimeoutError reports a job abandoned at its deadline.
+type TimeoutError struct {
+	JobID string
+	Limit time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("runner: job %q exceeded timeout %v", e.JobID, e.Limit)
+}
+
+// Is lets errors.Is(err, context.DeadlineExceeded) match.
+func (e *TimeoutError) Is(target error) bool { return target == context.DeadlineExceeded }
+
+// Pool runs jobs on a bounded set of workers.
+//
+// The zero value is usable: GOMAXPROCS workers, no timeout, no progress.
+type Pool struct {
+	// Workers caps concurrency; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout bounds each job unless the job sets its own; 0 = unbounded.
+	Timeout time.Duration
+	// Progress, when non-nil, receives carriage-return progress lines
+	// (jobs done/total, elapsed, ETA). Point it at os.Stderr so result
+	// tables on stdout stay byte-identical.
+	Progress io.Writer
+	// Name labels progress lines when several sweeps share a terminal.
+	Name string
+	// OnResult, when non-nil, is invoked as each job finishes with the
+	// job's submission index. Calls are serialized (never concurrent),
+	// but arrive in completion order, not submission order.
+	OnResult func(index int, r Result)
+}
+
+// Run executes all jobs and returns their results in submission order.
+// It never returns an early error: per-job failures (including panics and
+// timeouts) land in the corresponding Result.Err. Use FirstError to
+// collapse the slice into a single error.
+func (p *Pool) Run(ctx context.Context, jobs []Job) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(jobs)
+	results := make([]Result, n)
+	if n == 0 {
+		return results
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next int64 = -1
+		done int64
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				var r Result
+				if err := ctx.Err(); err != nil {
+					// Graceful drain: jobs that have not started when the
+					// sweep is cancelled are skipped; in-flight jobs (on
+					// other workers) complete normally.
+					r = Result{ID: jobs[i].ID, Labels: jobs[i].Labels,
+						Err: fmt.Errorf("runner: job %q skipped: %w", jobs[i].ID, err)}
+				} else {
+					r = p.runJob(ctx, jobs[i])
+				}
+				results[i] = r
+				d := int(atomic.AddInt64(&done, 1))
+				mu.Lock()
+				if p.OnResult != nil {
+					p.OnResult(i, r)
+				}
+				p.reportProgress(d, n, workers, start)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job with panic recovery and an optional deadline.
+func (p *Pool) runJob(ctx context.Context, job Job) Result {
+	timeout := job.Timeout
+	if timeout == 0 {
+		timeout = p.Timeout
+	}
+	jctx := ctx
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	start := time.Now()
+	ch := make(chan Result, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				ch <- Result{Err: &PanicError{JobID: job.ID, Labels: job.Labels,
+					Value: v, Stack: string(debug.Stack())}}
+			}
+		}()
+		v, err := job.Run(jctx)
+		ch <- Result{Value: v, Err: err}
+	}()
+	select {
+	case r := <-ch:
+		r.ID, r.Labels, r.Wall = job.ID, job.Labels, time.Since(start)
+		return r
+	case <-timerC:
+		// Abandon the job: its context is cancelled so a cooperative
+		// closure unwinds soon, and a runaway simulation finishes into the
+		// buffered channel without blocking a worker.
+		return Result{ID: job.ID, Labels: job.Labels, Wall: time.Since(start),
+			Err: &TimeoutError{JobID: job.ID, Limit: timeout}}
+	}
+}
+
+// FirstError returns the first failure in submission order (deterministic
+// regardless of worker count), or nil if every job succeeded.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over items on pool p and returns the outputs in item order,
+// or the first error in submission order. label (optional) names each job
+// for panic/timeout attribution.
+func Map[T, R any](ctx context.Context, p *Pool, items []T,
+	label func(i int, item T) string,
+	fn func(ctx context.Context, item T) (R, error)) ([]R, error) {
+	jobs := make([]Job, len(items))
+	for i, item := range items {
+		i, item := i, item
+		id := fmt.Sprintf("job-%d", i)
+		var labels map[string]string
+		if label != nil {
+			id = label(i, item)
+			labels = map[string]string{"job": id}
+		}
+		jobs[i] = Job{ID: id, Labels: labels,
+			Run: func(ctx context.Context) (interface{}, error) { return fn(ctx, item) }}
+	}
+	results := p.Run(ctx, jobs)
+	if err := FirstError(results); err != nil {
+		return nil, err
+	}
+	out := make([]R, len(results))
+	for i, r := range results {
+		if r.Value != nil {
+			out[i] = r.Value.(R)
+		}
+	}
+	return out, nil
+}
