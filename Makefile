@@ -1,11 +1,12 @@
 # Development targets. `make check` is the tier-1 gate plus the race
-# detector over the packages that own goroutines (internal/runner) and the
-# sweeps that run on them (internal/experiments) — load-bearing now that
-# sweeps execute in parallel.
+# detector over the packages that own goroutines or shared instruments:
+# internal/sim (process goroutines), internal/metrics (lock-free updates
+# from parallel jobs), internal/runner, and the sweeps that run on them
+# (internal/experiments).
 
 GO ?= go
 
-.PHONY: check vet build test race bench regen
+.PHONY: check vet build test race bench regen trace-demo
 
 check: vet build test race
 
@@ -19,10 +20,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race ./internal/sim/... ./internal/metrics/... ./internal/runner/... ./internal/experiments/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x
 
 regen:
 	$(GO) run ./cmd/repro -exp all -out results
+
+# trace-demo produces sample observability artifacts: a counters snapshot
+# and a chrome://tracing (or ui.perfetto.dev) loadable timeline of the
+# fig1b bidirectional-bandwidth runs.
+trace-demo:
+	$(GO) run ./cmd/repro -exp fig1b -quick -metrics trace-demo-metrics.json -tracefile trace-demo.json
+	@echo "wrote trace-demo-metrics.json and trace-demo.json (load in chrome://tracing)"

@@ -12,6 +12,8 @@
 //	repro -exp fig7 -csv        # emit CSV instead of aligned tables
 //	repro -exp all -out results # also write one .txt + .json per experiment
 //	repro -exp all -timeout 5m  # abandon any single simulation past 5m
+//	repro -exp fig1b -metrics m.json    # counters/histograms snapshot per experiment
+//	repro -exp fig2 -tracefile t.json   # chrome://tracing timeline of every machine
 //
 // Experiments print to stdout in registration order regardless of -jobs
 // (results stream as soon as their predecessors are done), so stdout is
@@ -21,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -38,9 +42,10 @@ func main() { os.Exit(run()) }
 
 // outcome carries one finished experiment through the pool.
 type outcome struct {
-	res  *experiments.Result
-	body string
-	wall time.Duration
+	res       *experiments.Result
+	body      string
+	wall      time.Duration
+	simEvents uint64 // total events across the experiment's sims (-metrics only)
 }
 
 func run() int {
@@ -54,6 +59,8 @@ func run() int {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent simulations per sweep (and concurrent experiments with -exp all); 1 = serial")
 		timeout  = flag.Duration("timeout", 0, "per-simulation timeout inside sweeps (0 = none)")
 		progress = flag.Bool("progress", false, "report per-sweep progress on stderr (done/total, ETA)")
+		metOut   = flag.String("metrics", "", "write a per-experiment JSON snapshot of simulation counters/gauges/histograms to this file")
+		traceOut = flag.String("tracefile", "", "write a merged chrome://tracing (trace_event JSON) timeline of every simulated machine to this file")
 	)
 	flag.Parse()
 
@@ -94,19 +101,41 @@ func run() int {
 		opts.Progress = os.Stderr
 	}
 
+	// One registry per experiment when observability output is requested:
+	// counters stay attributable to their experiment, and the files below
+	// are written in registration order, independent of scheduling.
+	var regs []*metrics.Registry
+	if *metOut != "" || *traceOut != "" {
+		regs = make([]*metrics.Registry, len(todo))
+		for i := range regs {
+			regs[i] = metrics.New()
+			if *traceOut != "" {
+				regs[i].EnableTracing()
+			}
+		}
+	}
+
 	jobList := make([]runner.Job, len(todo))
 	for i, e := range todo {
-		e := e
+		i, e := i, e
 		jobList[i] = runner.Job{
 			ID:     e.ID,
 			Labels: map[string]string{"experiment": e.ID},
 			Run: func(context.Context) (interface{}, error) {
 				start := time.Now()
-				res, err := e.Run(opts)
+				jopts := opts
+				if regs != nil {
+					jopts.Metrics = regs[i]
+				}
+				res, err := e.Run(jopts)
 				if err != nil {
 					return nil, err
 				}
-				return &outcome{res: res, body: render(res, *csv, *plot), wall: time.Since(start)}, nil
+				oc := &outcome{res: res, body: render(res, *csv, *plot), wall: time.Since(start)}
+				if regs != nil {
+					oc.simEvents = regs[i].Counter("sim.events_dispatched").Value()
+				}
+				return oc, nil
 			},
 		}
 	}
@@ -163,11 +192,59 @@ func run() int {
 			}
 		}
 	}
+	if *metOut != "" {
+		if err := writeMetrics(*metOut, todo, regs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, todo, regs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "repro: %d of %d experiments failed\n", failed, len(todo))
 		return 1
 	}
 	return 0
+}
+
+// writeMetrics stores one counters/gauges/histograms snapshot per
+// experiment, in registration order.
+func writeMetrics(path string, todo []experiments.Experiment, regs []*metrics.Registry) error {
+	type expSnapshot struct {
+		Experiment string `json:"experiment"`
+		metrics.Snapshot
+	}
+	snaps := make([]expSnapshot, len(todo))
+	for i, e := range todo {
+		snaps[i] = expSnapshot{Experiment: e.ID, Snapshot: regs[i].Snapshot()}
+	}
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTrace merges every experiment's timeline tracks into one
+// chrome://tracing-loadable file.
+func writeTrace(path string, todo []experiments.Experiment, regs []*metrics.Registry) error {
+	sources := make([]metrics.TraceSource, len(todo))
+	for i, e := range todo {
+		sources[i] = metrics.TraceSource{Label: e.ID, Reg: regs[i]}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteChromeTrace(f, sources...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // render produces the stdout/.txt body for one experiment.
@@ -213,8 +290,12 @@ func writeArtifacts(dir string, e experiments.Experiment, oc *outcome,
 			WallMS:    float64(oc.wall) / float64(time.Millisecond),
 			GoVersion: runtime.Version(),
 			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+			SimEvents: oc.simEvents,
 		},
 		Notes: oc.res.Notes,
+	}
+	if oc.simEvents > 0 && oc.wall > 0 {
+		a.Meta.EventsPerSec = float64(oc.simEvents) / oc.wall.Seconds()
 	}
 	for _, t := range oc.res.Tables {
 		a.Tables = append(a.Tables, runner.Table{Title: t.Title, Headers: t.Headers, Rows: t.Rows})

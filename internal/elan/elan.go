@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/match"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -92,18 +93,50 @@ type Network struct {
 func NewNetwork(eng *sim.Engine, fab *fabric.Fabric, params Params, nodeOf func(rank int) int) *Network {
 	n := &Network{eng: eng, fab: fab, nodeOf: nodeOf}
 	n.nics = make([]*NIC, fab.Nodes())
+	// Instruments are network-wide aggregates; nil (no registry) no-ops.
+	reg := eng.Metrics()
+	mSends := reg.Counter("elan.tx_posts")
+	mRecvs := reg.Counter("elan.rx_posts")
+	mUnexpected := reg.Counter("elan.unexpected")
 	for i := range n.nics {
 		n.nics[i] = &NIC{
-			net:    n,
-			eng:    eng,
-			node:   i,
-			params: params,
-			thread: eng.NewServer(fmt.Sprintf("elan%d", i)),
-			ports:  map[int]*port{},
-			txSeq:  map[[2]int]uint64{},
+			net:         n,
+			eng:         eng,
+			node:        i,
+			params:      params,
+			thread:      eng.NewServer(fmt.Sprintf("elan%d", i)),
+			ports:       map[int]*port{},
+			txSeq:       map[[2]int]uint64{},
+			mSends:      mSends,
+			mRecvs:      mRecvs,
+			mUnexpected: mUnexpected,
 		}
 	}
 	return n
+}
+
+// FlushMetrics folds end-of-run NIC statistics into the engine's registry: a
+// histogram of per-NIC thread utilization (percent) and the peak matching
+// queue depths across all NICs. Histogram adds and gauge maxima commute, so
+// a registry shared by parallel jobs stays deterministic. No-op without a
+// registry.
+func (n *Network) FlushMetrics() {
+	reg := n.eng.Metrics()
+	if reg == nil {
+		return
+	}
+	hUtil := reg.Histogram("elan.thread_util_pct")
+	gPosted := reg.Gauge("elan.max_posted_depth")
+	gUnexp := reg.Gauge("elan.max_unexpected_depth")
+	for _, nic := range n.nics {
+		if nic.Sends == 0 && nic.Recvs == 0 {
+			continue
+		}
+		hUtil.Observe(int64(nic.thread.Utilization() * 100))
+		posted, unexpected := nic.QueueStats()
+		gPosted.SetMax(float64(posted))
+		gUnexp.SetMax(float64(unexpected))
+	}
 }
 
 // NIC returns the adapter of the given node.
@@ -140,6 +173,8 @@ type NIC struct {
 	txSeq map[[2]int]uint64 // key: (source rank, destination rank) send sequence
 
 	Sends, Recvs, Unexpected uint64
+
+	mSends, mRecvs, mUnexpected *metrics.Counter // nil-safe; shared network-wide
 }
 
 // Params returns the NIC's parameters.
@@ -193,6 +228,7 @@ func (n *NIC) TxPost(p *sim.Proc, srcRank, dstRank int, env match.Envelope, size
 		panic("elan: intra-node sends belong to the MPI shared-memory channel")
 	}
 	n.Sends++
+	n.mSends.Inc()
 	p.Sleep(n.params.TxPostOverhead)
 
 	flow := [2]int{srcRank, dstRank}
@@ -246,6 +282,7 @@ func (n *NIC) matchArrival(pt *port, msg *envelopeMsg) {
 	if !found {
 		// Queued unexpected; eager payload now sits in a system buffer.
 		n.Unexpected++
+		n.mUnexpected.Inc()
 		n.thread.Serve(occ)
 		return
 	}
@@ -290,6 +327,7 @@ func (n *NIC) finishRecv(rx *rxState, msg *envelopeMsg) {
 func (n *NIC) RxPost(p *sim.Proc, dstRank int, env match.Envelope) *Recv {
 	pt := n.portOf(dstRank)
 	n.Recvs++
+	n.mRecvs.Inc()
 	p.Sleep(n.params.RxPostOverhead)
 
 	recv := &Recv{Done: n.eng.NewSignal(fmt.Sprintf("elan rx rank%d", dstRank))}

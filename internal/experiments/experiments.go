@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/platform"
 	"repro/internal/report"
@@ -42,6 +43,12 @@ type Options struct {
 	// Progress, when non-nil, receives sweep progress lines (done/total,
 	// elapsed, ETA). Point it at stderr so tables stay clean.
 	Progress io.Writer
+	// Metrics, when non-nil, is attached to every machine the experiment
+	// builds: counters and histograms accumulate into it across all sweep
+	// points (merges commute, so the snapshot is independent of Jobs), and
+	// if tracing is enabled each machine contributes a labelled timeline
+	// track. Nil disables all recording; results are identical either way.
+	Metrics *metrics.Registry
 }
 
 // pool builds the parallel runner every sweep in this package executes on.
@@ -136,7 +143,9 @@ func runSeries(o Options, nets []platform.Network, nodeCounts []int, ppns []int,
 			return fmt.Sprintf("%s ppn=%d nodes=%d", k.net.Short(), k.ppn, k.nodes)
 		},
 		func(_ context.Context, k seriesKey) (float64, error) {
-			m, err := platform.New(platform.Options{Network: k.net, Ranks: k.nodes * k.ppn, PPN: k.ppn})
+			m, err := platform.New(platform.Options{Network: k.net, Ranks: k.nodes * k.ppn, PPN: k.ppn,
+				Metrics: o.Metrics,
+				Label:   fmt.Sprintf("%s ppn=%d nodes=%d", k.net.Short(), k.ppn, k.nodes)})
 			if err != nil {
 				return 0, fmt.Errorf("%v nodes=%d ppn=%d: %w", k.net, k.nodes, k.ppn, err)
 			}

@@ -31,6 +31,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -89,6 +90,14 @@ type Fabric struct {
 
 	messages uint64
 	bytes    units.Bytes
+
+	// Observability (nil-safe no-ops when the engine has no registry).
+	mMsgs     *metrics.Counter
+	mBytes    *metrics.Counter
+	mChunks   *metrics.Counter
+	hWait     *metrics.Histogram // per-chunk link queueing delay, ns
+	track     *metrics.Track
+	linkBytes []units.Bytes // payload bytes per link; nil when no registry
 }
 
 // New builds a fabric over nodes endpoints using chassis of the given radix.
@@ -109,6 +118,19 @@ func New(eng *sim.Engine, nodes, radix int, params Params) (*Fabric, error) {
 		f.hosts = make([]*sim.Server, nodes)
 		for i := range f.hosts {
 			f.hosts[i] = eng.NewServer(fmt.Sprintf("pci%d", i))
+		}
+	}
+	if reg := eng.Metrics(); reg != nil {
+		f.mMsgs = reg.Counter("fabric.messages")
+		f.mBytes = reg.Counter("fabric.bytes")
+		f.mChunks = reg.Counter("fabric.chunks")
+		f.hWait = reg.Histogram("fabric.chunk_queue_wait_ns")
+		f.linkBytes = make([]units.Bytes, clos.NumLinks())
+		f.track = eng.TraceTrack()
+		if f.track != nil {
+			for i := 0; i < nodes; i++ {
+				f.track.SetThreadName(sim.TidNode+int64(i), fmt.Sprintf("node%d wire", i))
+			}
 		}
 	}
 	return f, nil
@@ -133,6 +155,31 @@ func (f *Fabric) LinkUtilization(id topology.LinkID) float64 {
 	return f.links[id].Utilization()
 }
 
+// FlushMetrics folds end-of-run link statistics into the engine's registry:
+// a histogram of per-link utilization (percent), a histogram of per-link
+// payload bytes, and a gauge holding the hottest link's utilization. Only
+// links that carried traffic are sampled. Histogram adds and gauge maxima
+// commute, so a registry shared by parallel sweep jobs stays deterministic.
+// No-op when the engine has no registry attached.
+func (f *Fabric) FlushMetrics() {
+	reg := f.eng.Metrics()
+	if reg == nil || f.linkBytes == nil {
+		return
+	}
+	hUtil := reg.Histogram("fabric.link_util_pct")
+	hBytes := reg.Histogram("fabric.link_bytes")
+	gMax := reg.Gauge("fabric.max_link_util_pct")
+	for id, srv := range f.links {
+		if f.linkBytes[id] == 0 {
+			continue
+		}
+		pct := srv.Utilization() * 100
+		hUtil.Observe(int64(pct))
+		hBytes.Observe(int64(f.linkBytes[id]))
+		gMax.SetMax(pct)
+	}
+}
+
 // HostBus exposes the node's PCI bus server so NIC models can charge
 // descriptor and doorbell traffic to it. Nil when the host stage is
 // disabled.
@@ -147,7 +194,8 @@ func (f *Fabric) HostBus(node int) *sim.Server {
 type stage struct {
 	srv  *sim.Server
 	rate units.Rate
-	lat  units.Duration // latency paid after serialization on this hop
+	lat  units.Duration  // latency paid after serialization on this hop
+	link topology.LinkID // -1 for host-bus stages (not a fabric link)
 }
 
 // path is the materialized hop list for one message, with the index of the
@@ -165,14 +213,14 @@ func (f *Fabric) pathFor(src, dst int) path {
 	clos := f.clos
 	var pt path
 	pt.upIdx = -1
-	add := func(srv *sim.Server, rate units.Rate, lat units.Duration) {
-		pt.stages = append(pt.stages, stage{srv, rate, lat})
+	add := func(id topology.LinkID, srv *sim.Server, rate units.Rate, lat units.Duration) {
+		pt.stages = append(pt.stages, stage{srv, rate, lat, id})
 	}
 	if f.hosts != nil {
-		add(f.hosts[src], p.HostBandwidth, p.HostLatency)
+		add(-1, f.hosts[src], p.HostBandwidth, p.HostLatency)
 	}
 	cross := clos.Levels == 2 && clos.LeafOf(src) != clos.LeafOf(dst)
-	add(f.links[clos.Injection(src)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
+	add(clos.Injection(src), f.links[clos.Injection(src)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
 	if cross {
 		pt.srcLeaf, pt.dstLeaf = clos.LeafOf(src), clos.LeafOf(dst)
 		spine := 0
@@ -180,12 +228,12 @@ func (f *Fabric) pathFor(src, dst int) path {
 			spine = clos.DestSpine(dst)
 		}
 		pt.upIdx = len(pt.stages)
-		add(f.links[clos.Up(pt.srcLeaf, spine)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
-		add(f.links[clos.Down(spine, pt.dstLeaf)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
+		add(clos.Up(pt.srcLeaf, spine), f.links[clos.Up(pt.srcLeaf, spine)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
+		add(clos.Down(spine, pt.dstLeaf), f.links[clos.Down(spine, pt.dstLeaf)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
 	}
-	add(f.links[clos.Ejection(dst)], p.LinkBandwidth, p.WireLatency)
+	add(clos.Ejection(dst), f.links[clos.Ejection(dst)], p.LinkBandwidth, p.WireLatency)
 	if f.hosts != nil {
-		add(f.hosts[dst], p.HostBandwidth, p.HostLatency)
+		add(-1, f.hosts[dst], p.HostBandwidth, p.HostLatency)
 	}
 	return pt
 }
@@ -215,10 +263,20 @@ func (f *Fabric) Send(src, dst int, size units.Bytes) *sim.Signal {
 	}
 	f.messages++
 	f.bytes += size
+	f.mMsgs.Inc()
+	f.mBytes.Add(uint64(size))
 	done := f.eng.NewSignal(fmt.Sprintf("msg %d->%d (%v)", src, dst, size))
+	if f.track != nil {
+		begin := f.eng.Now()
+		name := fmt.Sprintf("msg->%d %v", dst, size)
+		done.OnFire(func() {
+			f.track.Span(sim.TidNode+int64(src), name, "fabric", begin, f.eng.Now())
+		})
+	}
 
 	pt := f.pathFor(src, dst)
 	sizes := f.chunkSizes(size)
+	f.mChunks.Add(uint64(len(sizes)))
 	remaining := len(sizes)
 	for _, sz := range sizes {
 		f.sendChunk(pt, 0, sz, f.eng.Now(), func() {
@@ -257,9 +315,19 @@ func (f *Fabric) sendChunk(pt path, i int, size units.Bytes, ready units.Time, d
 			spine := f.leastLoadedSpine(pt.srcLeaf)
 			pt.stages = append([]stage(nil), pt.stages...)
 			pt.stages[i].srv = f.links[f.clos.Up(pt.srcLeaf, spine)]
+			pt.stages[i].link = f.clos.Up(pt.srcLeaf, spine)
 			pt.stages[i+1].srv = f.links[f.clos.Down(spine, pt.dstLeaf)]
+			pt.stages[i+1].link = f.clos.Down(spine, pt.dstLeaf)
 		}
 		st := pt.stages[i]
+		if f.linkBytes != nil && st.link >= 0 {
+			f.linkBytes[st.link] += size
+			if wait := st.srv.BusyUntil().Sub(ready); wait > 0 {
+				f.hWait.Observe(int64(wait / units.Nanosecond))
+			} else {
+				f.hWait.Observe(0)
+			}
+		}
 		ser := st.rate.TimeFor(size + f.params.PacketOverhead)
 		out := st.srv.ServeAt(ready, ser).Add(st.lat)
 		if i < len(pt.stages)-1 {

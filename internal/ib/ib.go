@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -114,6 +115,10 @@ type Network struct {
 func NewNetwork(eng *sim.Engine, fab *fabric.Fabric, params Params) *Network {
 	n := &Network{eng: eng, fab: fab}
 	n.hcas = make([]*HCA, fab.Nodes())
+	// Instruments are network-wide aggregates; nil (no registry) no-ops.
+	reg := eng.Metrics()
+	mSends := reg.Counter("ib.rdma_posts")
+	mRecvs := reg.Counter("ib.deliveries")
 	for i := range n.hcas {
 		n.hcas[i] = &HCA{
 			net:      n,
@@ -124,9 +129,37 @@ func NewNetwork(eng *sim.Engine, fab *fabric.Fabric, params Params) *Network {
 			engine:   eng.NewServer(fmt.Sprintf("hca%d", i)),
 			regCache: NewRegCache(params.RegCacheCap),
 			qps:      map[int]bool{},
+			mSends:   mSends,
+			mRecvs:   mRecvs,
 		}
+		n.hcas[i].regCache.SetCounters(
+			reg.Counter("ib.regcache_hits"),
+			reg.Counter("ib.regcache_misses"),
+			reg.Counter("ib.regcache_evictions"))
 	}
 	return n
+}
+
+// FlushMetrics folds end-of-run connection-state levels into the engine's
+// registry: total established QPs, QP context memory, and currently pinned
+// registration-cache bytes (summed across HCAs). Gauge maxima commute, so a
+// registry shared by parallel jobs stays deterministic. No-op without a
+// registry.
+func (n *Network) FlushMetrics() {
+	reg := n.eng.Metrics()
+	if reg == nil {
+		return
+	}
+	var qps int
+	var qpMem, pinned units.Bytes
+	for _, h := range n.hcas {
+		qps += h.NumQPs()
+		qpMem += h.QPMemory
+		pinned += h.regCache.Used()
+	}
+	reg.Gauge("ib.qps").SetMax(float64(qps))
+	reg.Gauge("ib.qp_memory_bytes").SetMax(float64(qpMem))
+	reg.Gauge("ib.regcache_pinned_bytes").SetMax(float64(pinned))
 }
 
 // HCA returns the adapter of the given node.
@@ -151,6 +184,9 @@ type HCA struct {
 	QPMemory  units.Bytes
 	SendCount uint64
 	RecvCount uint64
+
+	mSends *metrics.Counter // nil-safe; shared network-wide
+	mRecvs *metrics.Counter
 }
 
 // Node reports the fabric endpoint this HCA serves.
@@ -215,6 +251,7 @@ func (h *HCA) RDMAWrite(p *sim.Proc, peer int, size units.Bytes, imm interface{}
 		panic(fmt.Sprintf("ib: RDMA write on node %d to unconnected peer %d", h.node, peer))
 	}
 	h.SendCount++
+	h.mSends.Inc()
 	p.Sleep(h.params.PostOverhead)
 	if bus := h.fab.HostBus(h.node); bus != nil {
 		// Doorbell + WQE PIO occupy the shared PCI-X bus.
@@ -227,6 +264,7 @@ func (h *HCA) RDMAWrite(p *sim.Proc, peer int, size units.Bytes, imm interface{}
 				// Remote HCA placement processing, then the upcall.
 				remote := h.net.hcas[peer]
 				remote.RecvCount++
+				remote.mRecvs.Inc()
 				remote.engine.ServeThen(remote.params.RecvProc, func() {
 					if remote.handler != nil {
 						remote.handler(Delivery{SrcNode: h.node, Imm: imm, Size: size})
@@ -252,6 +290,7 @@ func (h *HCA) RDMARead(p *sim.Proc, peer int, size units.Bytes, imm interface{})
 		panic(fmt.Sprintf("ib: RDMA read on node %d from unconnected peer %d", h.node, peer))
 	}
 	h.SendCount++
+	h.mSends.Inc()
 	p.Sleep(h.params.PostOverhead)
 	if bus := h.fab.HostBus(h.node); bus != nil {
 		bus.Serve(h.params.DoorbellBusTime)
@@ -266,6 +305,7 @@ func (h *HCA) RDMARead(p *sim.Proc, peer int, size units.Bytes, imm interface{})
 				remote.engine.ServeThen(remote.params.RecvProc, func() {
 					h.fab.Send(peer, h.node, size).OnFire(func() {
 						h.RecvCount++
+						h.mRecvs.Inc()
 						h.engine.ServeThen(h.params.RecvProc, func() {
 							if h.handler != nil {
 								h.handler(Delivery{SrcNode: peer, Imm: imm, Size: size})

@@ -3,6 +3,7 @@ package ib
 import (
 	"container/list"
 
+	"repro/internal/metrics"
 	"repro/internal/units"
 )
 
@@ -23,6 +24,8 @@ type RegCache struct {
 	byKey    map[uint64]*list.Element
 
 	Hits, Misses, Evictions uint64
+
+	mHits, mMisses, mEvictions *metrics.Counter // nil-safe mirrors of the above
 }
 
 type regEntry struct {
@@ -39,6 +42,13 @@ func NewRegCache(capacity units.Bytes) *RegCache {
 	}
 }
 
+// SetCounters mirrors the cache's hit/miss/eviction statistics into registry
+// counters (typically shared across a network's caches). Nil counters no-op,
+// so this is safe to call unconditionally.
+func (c *RegCache) SetCounters(hits, misses, evictions *metrics.Counter) {
+	c.mHits, c.mMisses, c.mEvictions = hits, misses, evictions
+}
+
 // Access registers the buffer (key, size) if needed and returns the host
 // CPU time the operation costs under the given cost parameters. A hit costs
 // only the lookup; a miss costs registration of every page plus
@@ -49,6 +59,7 @@ func (c *RegCache) Access(key uint64, size units.Bytes, p *Params) units.Duratio
 		if ent.size >= size {
 			c.lru.MoveToFront(el)
 			c.Hits++
+			c.mHits.Inc()
 			return p.RegLookup
 		}
 		// Grown buffer: treat as miss for the whole new size.
@@ -57,6 +68,7 @@ func (c *RegCache) Access(key uint64, size units.Bytes, p *Params) units.Duratio
 		delete(c.byKey, key)
 	}
 	c.Misses++
+	c.mMisses.Inc()
 	cost := p.RegLookup + p.RegBase + c.pageCost(size, p.RegPerPage, p)
 	// Evict LRU entries until the new buffer fits.
 	for c.used+size > c.capacity && c.lru.Len() > 0 {
@@ -66,6 +78,7 @@ func (c *RegCache) Access(key uint64, size units.Bytes, p *Params) units.Duratio
 		delete(c.byKey, ent.key)
 		c.used -= ent.size
 		c.Evictions++
+		c.mEvictions.Inc()
 		cost += p.DeregBase + c.pageCost(ent.size, p.DeregPerPage, p)
 	}
 	c.used += size

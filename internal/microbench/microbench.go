@@ -7,11 +7,21 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/units"
 )
+
+// obsOf unwraps the optional trailing observability registry each benchmark
+// accepts (nil — recording disabled — when absent).
+func obsOf(obs []*metrics.Registry) *metrics.Registry {
+	if len(obs) > 0 {
+		return obs[0]
+	}
+	return nil
+}
 
 // PingPongPoint is one row of Figure 1(a)/(b): the average one-way latency
 // and the implied bandwidth at one message size.
@@ -33,9 +43,11 @@ func DefaultSizes() []units.Bytes {
 
 // PingPong runs the Pallas-PingPong pattern between two ranks on the given
 // network: rank 0 sends, rank 1 returns the same message; latency is half
-// the round trip, averaged over iters exchanges after warmup.
-func PingPong(network platform.Network, sizes []units.Bytes, iters int) ([]PingPongPoint, error) {
-	m, err := platform.New(platform.Options{Network: network, Ranks: 2, PPN: 1})
+// the round trip, averaged over iters exchanges after warmup. An optional
+// metrics registry records counters and (if tracing) a timeline.
+func PingPong(network platform.Network, sizes []units.Bytes, iters int, obs ...*metrics.Registry) ([]PingPongPoint, error) {
+	m, err := platform.New(platform.Options{Network: network, Ranks: 2, PPN: 1,
+		Metrics: obsOf(obs), Label: "pingpong " + network.Short()})
 	if err != nil {
 		return nil, err
 	}
@@ -85,8 +97,9 @@ type StreamingPoint struct {
 // `window` receives; the sender fires `window` back-to-back nonblocking
 // sends; both wait; repeat for iters windows. This quantifies the ability
 // to fill the message-passing pipeline (Section 2.1).
-func Streaming(network platform.Network, sizes []units.Bytes, window, iters int) ([]StreamingPoint, error) {
-	m, err := platform.New(platform.Options{Network: network, Ranks: 2, PPN: 1})
+func Streaming(network platform.Network, sizes []units.Bytes, window, iters int, obs ...*metrics.Registry) ([]StreamingPoint, error) {
+	m, err := platform.New(platform.Options{Network: network, Ranks: 2, PPN: 1,
+		Metrics: obsOf(obs), Label: "streaming " + network.Short()})
 	if err != nil {
 		return nil, err
 	}
@@ -155,11 +168,12 @@ func BEffSizes() []units.Bytes {
 // line-for-line port: patterns are one nearest-neighbour ring, one
 // stride-ring, and three seeded random permutations; each is measured with
 // Sendrecv loops.
-func BEff(network platform.Network, ranks, itersPerSize int, seed uint64) (*BEffResult, error) {
+func BEff(network platform.Network, ranks, itersPerSize int, seed uint64, obs ...*metrics.Registry) (*BEffResult, error) {
 	if ranks < 2 {
 		return nil, fmt.Errorf("microbench: b_eff needs at least 2 ranks")
 	}
-	m, err := platform.New(platform.Options{Network: network, Ranks: ranks, PPN: 1})
+	m, err := platform.New(platform.Options{Network: network, Ranks: ranks, PPN: 1,
+		Metrics: obsOf(obs), Label: fmt.Sprintf("beff%d %s", ranks, network.Short())})
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/ib"
 	"repro/internal/match"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/units"
 )
@@ -138,6 +139,8 @@ type Transport struct {
 	net    *ib.Network
 	w      *mpi.World
 	states []*rankState
+
+	mEager, mRndv, mUnexpected *metrics.Counter // nil-safe; world-wide totals
 }
 
 // New wraps an IB network as an MPI transport.
@@ -187,6 +190,10 @@ func (t *Transport) EagerMemoryPerRank() units.Bytes {
 // install the delivery handler on every HCA.
 func (t *Transport) Attach(w *mpi.World) {
 	t.w = w
+	reg := w.Engine().Metrics()
+	t.mEager = reg.Counter("mvib.eager_sends")
+	t.mRndv = reg.Counter("mvib.rndv_sends")
+	t.mUnexpected = reg.Counter("mvib.unexpected")
 	t.states = make([]*rankState, w.Size())
 	for i := range t.states {
 		t.states[i] = &rankState{
@@ -215,6 +222,7 @@ func (t *Transport) Attach(w *mpi.World) {
 			}
 		}
 	}
+	reg.Gauge("mvib.eager_memory_per_rank_bytes").SetMax(float64(t.EagerMemoryPerRank()))
 }
 
 // deliver runs in event context when an RDMA write has been placed in host
@@ -236,6 +244,7 @@ func (t *Transport) NetSend(r *mpi.Rank, dst, tag, ctx int, size units.Bytes, pa
 
 	if size <= t.params.EagerThreshold {
 		st.EagerSends++
+		t.mEager.Inc()
 		// Flow control: block (making progress) until a slot is free.
 		for st.credits[dst] == 0 {
 			sig := r.Incoming()
@@ -262,6 +271,7 @@ func (t *Transport) NetSend(r *mpi.Rank, dst, tag, ctx int, size units.Bytes, pa
 	}
 
 	st.RndvSends++
+	t.mRndv.Inc()
 	// Rendezvous: pin the send buffer, then RTS.
 	hca.Register(r.Proc(), key, size)
 	ss := &sendState{req: req, rank: r, dst: dst, size: size, key: key}
@@ -392,6 +402,7 @@ func (t *Transport) hostMatch(r *mpi.Rank, st *rankState, msg *wireMsg) {
 	}
 	if !found {
 		st.Unexpected++
+		t.mUnexpected.Inc()
 		if msg.kind == kindEager {
 			// Drain the slot to a temp buffer so the slot can recycle.
 			r.HostCopy(msg.size)

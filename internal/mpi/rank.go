@@ -78,7 +78,28 @@ func (r *Rank) Compute(work units.Duration, memIntensity float64) {
 		r.world.record(r.id, EvComputeBegin, -1, 0, 0)
 		defer r.world.record(r.id, EvComputeEnd, -1, 0, 0)
 	}
+	if tr := r.world.track; tr != nil {
+		begin := r.world.eng.Now()
+		defer func() {
+			tr.Span(sim.TidRank+int64(r.id), "compute", "compute", begin, r.world.eng.Now())
+		}()
+	}
 	r.node.Compute(r.proc, r.slot, work, memIntensity)
+}
+
+// traceReq records a [posted, completed] span for the request on this
+// rank's timeline row. No-op when the world has no track.
+func (r *Rank) traceReq(req *Request, posted units.Time, name string) {
+	tr := r.world.track
+	if tr == nil {
+		return
+	}
+	tid := sim.TidRank + int64(r.id)
+	if req.done.Fired() {
+		tr.Span(tid, name, "mpi", posted, req.done.FiredAt())
+		return
+	}
+	req.done.OnFire(func() { tr.Span(tid, name, "mpi", posted, req.done.FiredAt()) })
 }
 
 // HostCopy charges an MPI-internal memory copy to this rank: CPU time now,
@@ -138,12 +159,19 @@ func (r *Rank) isend(dst, tag, ctx int, size units.Bytes, payload interface{}) *
 	if r.world.trace != nil {
 		r.world.record(r.id, EvSendPost, dst, tag, size)
 	}
+	posted := r.world.eng.Now()
 	r.proc.Sleep(r.world.cfg.CallOverhead)
+	var req *Request
 	if intra {
-		return r.shmSend(dst, tag, ctx, size, payload)
+		req = r.shmSend(dst, tag, ctx, size, payload)
+	} else {
+		key := r.bufKey(1, dst, tag, ctx)
+		req = r.world.transport.NetSend(r, dst, tag, ctx, size, payload, key)
 	}
-	key := r.bufKey(1, dst, tag, ctx)
-	return r.world.transport.NetSend(r, dst, tag, ctx, size, payload, key)
+	if r.world.track != nil {
+		r.traceReq(req, posted, fmt.Sprintf("send->%d %v", dst, size))
+	}
+	return req
 }
 
 // Irecv posts a nonblocking receive matching (src, tag). src may be
@@ -160,17 +188,24 @@ func (r *Rank) irecv(src, tag, ctx int) *Request {
 	if r.world.trace != nil {
 		r.world.record(r.id, EvRecvPost, src, tag, 0)
 	}
+	posted := r.world.eng.Now()
 	r.proc.Sleep(r.world.cfg.CallOverhead)
-	if src == AnySource {
+	var req *Request
+	switch {
+	case src == AnySource:
 		if r.world.cfg.PPN > 1 {
 			panic("mpi: AnySource requires 1 process per node (no cross-device wildcard matching)")
 		}
-		return r.world.transport.NetRecv(r, src, tag, ctx, r.bufKey(2, src, tag, ctx))
+		req = r.world.transport.NetRecv(r, src, tag, ctx, r.bufKey(2, src, tag, ctx))
+	case r.world.NodeOf(src) == r.NodeID():
+		req = r.shmRecv(src, tag, ctx)
+	default:
+		req = r.world.transport.NetRecv(r, src, tag, ctx, r.bufKey(2, src, tag, ctx))
 	}
-	if r.world.NodeOf(src) == r.NodeID() {
-		return r.shmRecv(src, tag, ctx)
+	if r.world.track != nil {
+		r.traceReq(req, posted, fmt.Sprintf("recv<-%d", src))
 	}
-	return r.world.transport.NetRecv(r, src, tag, ctx, r.bufKey(2, src, tag, ctx))
+	return req
 }
 
 // Wait blocks until the request completes, making host-side progress while

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/host"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -23,6 +24,10 @@ type World struct {
 
 	// Optional event trace (see trace.go).
 	trace *tracer
+
+	// Optional timeline track (per-rank send/recv/compute spans); nil
+	// unless the engine carries a tracing-enabled metrics registry.
+	track *metrics.Track
 }
 
 // NewWorld builds a job. The caller provides the transport already bound to
@@ -37,6 +42,7 @@ func NewWorld(eng *sim.Engine, cfg Config, transport Transport) (*World, error) 
 		return nil, err
 	}
 	w := &World{eng: eng, cfg: cfg, cluster: cluster, transport: transport}
+	w.track = eng.TraceTrack()
 	w.ranks = make([]*Rank, cfg.Ranks)
 	for i := range w.ranks {
 		node := i / cfg.PPN
@@ -48,6 +54,9 @@ func NewWorld(eng *sim.Engine, cfg Config, transport Transport) (*World, error) 
 			incoming: eng.NewSignal(fmt.Sprintf("rank%d incoming", i)),
 		}
 		w.ranks[i].shm.init()
+		if w.track != nil {
+			w.track.SetThreadName(sim.TidRank+int64(i), fmt.Sprintf("rank%d", i))
+		}
 	}
 	transport.Attach(w)
 	return w, nil

@@ -1,0 +1,126 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/units"
+)
+
+// pingpong is a small cross-node exchange touching every instrumented layer:
+// MPI send/recv, transport eager+rendezvous paths, and the fabric.
+func pingpong(r *mpi.Rank) {
+	const tag = 7
+	sizes := []units.Bytes{128, 256 * units.KiB}
+	for _, sz := range sizes {
+		if r.ID() == 0 {
+			r.Send(1, tag, sz)
+			r.Recv(1, tag)
+		} else {
+			r.Recv(0, tag)
+			r.Send(0, tag, sz)
+		}
+	}
+}
+
+func runPingpong(t *testing.T, net Network, reg *metrics.Registry) *mpi.Result {
+	t.Helper()
+	m, err := New(Options{Network: net, Ranks: 2, PPN: 1, Metrics: reg, Label: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(pingpong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMetricsDoNotPerturbSimulation: the observed run must produce exactly
+// the same simulated result as the unobserved run — metrics record behaviour,
+// they never alter it.
+func TestMetricsDoNotPerturbSimulation(t *testing.T) {
+	for _, net := range Networks {
+		bare := runPingpong(t, net, nil)
+		reg := metrics.New()
+		reg.EnableTracing()
+		observed := runPingpong(t, net, reg)
+		if bare.Elapsed != observed.Elapsed {
+			t.Errorf("%v: elapsed %v without metrics, %v with", net, bare.Elapsed, observed.Elapsed)
+		}
+		for i := range bare.RankElapsed {
+			if bare.RankElapsed[i] != observed.RankElapsed[i] {
+				t.Errorf("%v: rank %d elapsed differs: %v vs %v",
+					net, i, bare.RankElapsed[i], observed.RankElapsed[i])
+			}
+		}
+	}
+}
+
+// TestMetricsWiredThroughLayers: one observed run populates the counters of
+// every layer, and tracing records timeline events.
+func TestMetricsWiredThroughLayers(t *testing.T) {
+	common := []string{"sim.events_dispatched", "sim.procs_spawned", "fabric.messages", "fabric.bytes"}
+	perNet := map[Network][]string{
+		InfiniBand4X:  {"ib.rdma_posts", "ib.deliveries", "mvib.eager_sends", "mvib.rndv_sends"},
+		QuadricsElan4: {"elan.tx_posts", "elan.rx_posts"},
+	}
+	for _, net := range Networks {
+		reg := metrics.New()
+		reg.EnableTracing()
+		runPingpong(t, net, reg)
+		for _, name := range append(append([]string{}, common...), perNet[net]...) {
+			if reg.Counter(name).Value() == 0 {
+				t.Errorf("%v: counter %q is zero after an observed run", net, name)
+			}
+		}
+		snap := reg.Snapshot()
+		if len(snap.Histograms) == 0 {
+			t.Errorf("%v: no histograms in snapshot (FlushMetrics not reached?)", net)
+		}
+		found := false
+		for _, h := range snap.Histograms {
+			if h.Name == "fabric.link_util_pct" && h.Count > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: fabric.link_util_pct missing or empty", net)
+		}
+	}
+}
+
+// TestTracingRecordsSpans: an observed run with tracing on produces rank and
+// blocked-process timeline events on the engine's track.
+func TestTracingRecordsSpans(t *testing.T) {
+	reg := metrics.New()
+	reg.EnableTracing()
+	m, err := New(Options{Network: InfiniBand4X, Ranks: 2, PPN: 1, Metrics: reg, Label: "trace"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(pingpong); err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Eng.TraceTrack()
+	if tr == nil {
+		t.Fatal("engine has no trace track despite tracing-enabled registry")
+	}
+	if tr.Events() == 0 {
+		t.Fatal("trace track recorded no events")
+	}
+}
+
+// TestDefaultLabelFallsBackToNetwork: an empty Options.Label names the track
+// after the network.
+func TestDefaultLabelFallsBackToNetwork(t *testing.T) {
+	reg := metrics.New()
+	m, err := New(Options{Network: QuadricsElan4, Ranks: 2, PPN: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Eng.Metrics() != reg {
+		t.Fatal("registry not attached to engine")
+	}
+}

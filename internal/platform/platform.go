@@ -14,6 +14,7 @@ import (
 	"repro/internal/elan"
 	"repro/internal/fabric"
 	"repro/internal/ib"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/mpi/mvib"
 	"repro/internal/mpi/tports"
@@ -111,6 +112,15 @@ type Options struct {
 	Ranks   int
 	PPN     int
 
+	// Metrics, when non-nil, attaches an observability registry to the
+	// machine's engine: every layer records counters/histograms into it,
+	// and — if the registry has tracing enabled — a timeline track labelled
+	// Label. Nil (the default) disables all recording; simulated behaviour
+	// is identical either way.
+	Metrics *metrics.Registry
+	// Label names the machine's timeline track (e.g. "pingpong IB").
+	Label string
+
 	// Optional hooks to perturb parameters for ablation studies. Called
 	// with the calibrated defaults before construction.
 	TuneFabric func(*fabric.Params)
@@ -128,6 +138,13 @@ func New(opts Options) (*Machine, error) {
 		opts.PPN = 1
 	}
 	eng := sim.NewEngine()
+	if opts.Metrics != nil {
+		label := opts.Label
+		if label == "" {
+			label = opts.Network.Short()
+		}
+		eng.SetMetrics(opts.Metrics, label)
+	}
 	cfg := mpi.DefaultConfig(opts.Ranks, opts.PPN)
 	if opts.TuneMPI != nil {
 		opts.TuneMPI(&cfg)
@@ -186,7 +203,19 @@ func New(opts Options) (*Machine, error) {
 	return m, nil
 }
 
-// Run executes the app on the machine's world.
+// Run executes the app on the machine's world, then folds end-of-run
+// utilization and occupancy levels into the attached metrics registry (a
+// no-op without one).
 func (m *Machine) Run(app func(*mpi.Rank)) (*mpi.Result, error) {
-	return m.World.Run(app)
+	res, err := m.World.Run(app)
+	if m.Eng.Metrics() != nil {
+		m.Fab.FlushMetrics()
+		if m.IB != nil {
+			m.IB.Network().FlushMetrics()
+		}
+		if m.Elan != nil {
+			m.Elan.Network().FlushMetrics()
+		}
+	}
+	return res, err
 }

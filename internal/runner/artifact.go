@@ -19,6 +19,10 @@ type Meta struct {
 	WallMS    float64 `json:"wall_ms"`
 	GoVersion string  `json:"go_version,omitempty"`
 	CreatedAt string  `json:"created_at,omitempty"`
+	// SimEvents and EventsPerSec report simulation-event throughput when
+	// the run carried a metrics registry (repro -metrics); zero otherwise.
+	SimEvents    uint64  `json:"sim_events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // Table is the machine-readable form of one result table.

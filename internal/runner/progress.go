@@ -2,12 +2,16 @@ package runner
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
 // reportProgress prints one carriage-return status line per completed job
 // and a newline-terminated summary when the sweep finishes. Callers hold
-// the pool mutex, so lines never interleave.
+// the pool mutex, so lines never interleave. Each line is padded to at
+// least the previous line's length: status text can shrink between
+// overwrites (e.g. "eta 1m40s" collapsing to "eta 900ms"), and without
+// padding the surplus characters of the longer line would survive the \r.
 func (p *Pool) reportProgress(done, total, workers int, start time.Time) {
 	if p.Progress == nil {
 		return
@@ -17,18 +21,32 @@ func (p *Pool) reportProgress(done, total, workers int, start time.Time) {
 		name = "runner"
 	}
 	elapsed := time.Since(start)
+	var line string
 	if done == total {
-		fmt.Fprintf(p.Progress, "\r%s: %d/%d jobs in %s (%d workers)\n",
+		line = fmt.Sprintf("%s: %d/%d jobs in %s (%d workers)",
 			name, done, total, roundDur(elapsed), workers)
+	} else {
+		eta := "?"
+		if done > 0 {
+			remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			eta = roundDur(remaining)
+		}
+		line = fmt.Sprintf("%s: %d/%d jobs  elapsed %s  eta %s",
+			name, done, total, roundDur(elapsed), eta)
+	}
+	// Pad to the rendered width of the previous line (which was itself
+	// padded), not just its text width: the screen still shows the longest
+	// line so far, and anything narrower leaves its tail behind.
+	if pad := p.progressLen - len(line); pad > 0 {
+		line += strings.Repeat(" ", pad)
+	}
+	p.progressLen = len(line)
+	if done == total {
+		p.progressLen = 0
+		fmt.Fprintf(p.Progress, "\r%s\n", line)
 		return
 	}
-	eta := "?"
-	if done > 0 {
-		remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
-		eta = roundDur(remaining)
-	}
-	fmt.Fprintf(p.Progress, "\r%s: %d/%d jobs  elapsed %s  eta %s ",
-		name, done, total, roundDur(elapsed), eta)
+	fmt.Fprintf(p.Progress, "\r%s", line)
 }
 
 // roundDur renders a duration at progress-line precision.

@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressOverwritePadding: a progress line shorter than its predecessor
+// is padded with spaces, so a terminal rendering the \r overwrite never shows
+// stale characters from the longer line's tail.
+func TestProgressOverwritePadding(t *testing.T) {
+	var buf strings.Builder
+	p := &Pool{Progress: &buf, Name: "sweep"}
+
+	// First line: large elapsed/ETA strings ("1m40s", "3m20s").
+	p.reportProgress(1, 3, 2, time.Now().Add(-100*time.Second))
+	// Second line: tiny elapsed, so the raw text shrinks.
+	p.reportProgress(2, 3, 2, time.Now())
+	// Final line: summary, newline-terminated.
+	p.reportProgress(3, 3, 2, time.Now())
+
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("final progress output not newline-terminated: %q", out)
+	}
+	segs := strings.Split(strings.TrimSuffix(out, "\n"), "\r")
+	if len(segs) != 4 || segs[0] != "" {
+		t.Fatalf("expected 3 \\r-led lines, got %q", out)
+	}
+	lines := segs[1:]
+	if len(lines[0]) <= len(strings.TrimRight(lines[1], " ")) {
+		t.Skip("second line did not shrink; timing too coarse to exercise padding")
+	}
+	// Each overwrite must fully cover the line it replaces.
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) < len(lines[i-1]) {
+			t.Fatalf("line %d (%d chars) does not cover line %d (%d chars):\n%q\n%q",
+				i, len(lines[i]), i-1, len(lines[i-1]), lines[i], lines[i-1])
+		}
+	}
+	// The padded tail is spaces, not stale text.
+	if tail := lines[1][len(strings.TrimRight(lines[1], " ")):]; strings.Trim(tail, " ") != "" {
+		t.Fatalf("padding tail contains non-spaces: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "sweep: 3/3 jobs") {
+		t.Fatalf("final line %q lacks summary", lines[2])
+	}
+}
+
+// TestProgressLenResets: the pad state clears at the final line so a pool
+// reused for a second sweep does not over-pad its first line.
+func TestProgressLenResets(t *testing.T) {
+	var buf strings.Builder
+	p := &Pool{Progress: &buf, Name: "s"}
+	p.reportProgress(1, 2, 1, time.Now().Add(-100*time.Second))
+	p.reportProgress(2, 2, 1, time.Now())
+	if p.progressLen != 0 {
+		t.Fatalf("progressLen = %d after final line, want 0", p.progressLen)
+	}
+}

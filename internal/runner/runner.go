@@ -119,6 +119,11 @@ type Pool struct {
 	// job's submission index. Calls are serialized (never concurrent),
 	// but arrive in completion order, not submission order.
 	OnResult func(index int, r Result)
+
+	// progressLen is the length of the last progress line written, so a
+	// shorter overwrite can pad over the previous line's tail. Accessed
+	// only under the pool mutex (reportProgress's caller holds it).
+	progressLen int
 }
 
 // Run executes all jobs and returns their results in submission order.

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/units"
 )
 
@@ -77,6 +78,15 @@ type Engine struct {
 	nEvents   uint64
 	maxEvents uint64
 
+	// Observability (see internal/metrics). All fields stay nil by default:
+	// instrument methods on nil receivers are no-ops, so an engine without
+	// metrics runs the exact same event sequence at negligible extra cost.
+	reg     *metrics.Registry
+	track   *metrics.Track
+	mEvents *metrics.Counter
+	mWakes  *metrics.Counter
+	mSpawns *metrics.Counter
+
 	// Trace, when non-nil, receives a line for every event dispatch and
 	// process state change. Intended for debugging small models.
 	Trace func(line string)
@@ -89,6 +99,37 @@ func NewEngine() *Engine {
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetMetrics attaches an observability registry to the engine. label names
+// the engine's timeline track (the process group in an exported Chrome
+// trace); a track is only created when the registry has tracing enabled.
+// Call before running. A nil registry detaches.
+func (e *Engine) SetMetrics(reg *metrics.Registry, label string) {
+	e.reg = reg
+	e.mEvents = reg.Counter("sim.events_dispatched")
+	e.mWakes = reg.Counter("sim.proc_wakes")
+	e.mSpawns = reg.Counter("sim.procs_spawned")
+	e.track = reg.NewTrack(label)
+}
+
+// Metrics returns the attached registry (nil when detached). Model layers
+// built over this engine fetch their instruments through it.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// TraceTrack returns the engine's timeline track, nil unless SetMetrics was
+// called with a tracing-enabled registry. Rows (tids) within the track are
+// partitioned by convention: TidRank+i for MPI ranks, TidProc+i for
+// blocked-process spans, TidNode+i for fabric per-node message spans.
+func (e *Engine) TraceTrack() *metrics.Track { return e.track }
+
+// Timeline row (tid) bases shared by the layers recording onto one engine
+// track. Chrome's trace viewer sorts rows by tid, so ranks come first, then
+// per-node fabric rows, then blocked-process rows.
+const (
+	TidRank int64 = 0
+	TidNode int64 = 10000
+	TidProc int64 = 20000
+)
 
 // Events reports the number of events dispatched so far.
 func (e *Engine) Events() uint64 { return e.nEvents }
@@ -126,28 +167,40 @@ var ErrDeadlock = errors.New("sim: deadlock")
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
 // Stop requests that the run loop return after the current event. It may be
-// called from event or process context.
+// called from event or process context, or before a run: a Stop issued
+// while the engine is idle makes the next Run/RunUntil return immediately
+// (dispatching nothing); the run after that proceeds normally.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run dispatches events until none remain, an error occurs, or Stop is
 // called. It returns ErrDeadlock if blocked processes remain at quiescence.
 func (e *Engine) Run() error { return e.RunUntil(units.Forever) }
 
-// RunUntil dispatches events with timestamps <= deadline. The clock is left
-// at the last dispatched event (or at deadline if the next event is beyond
-// it and at least one event at or before the deadline existed).
+// RunUntil dispatches events with timestamps <= deadline. On a clean return
+// the clock is advanced to deadline — whether the queue drained or the next
+// event lies beyond it — so callers interleaving RunUntil with Now read the
+// time they ran to. The clock never moves backward (a deadline already in
+// the past leaves it unchanged), never advances to the Forever sentinel,
+// and is left at the last dispatched event when the run ends early via
+// Stop, an error, or deadlock.
 func (e *Engine) RunUntil(deadline Time) error {
 	if e.err != nil {
 		return e.err
 	}
-	e.stopped = false
+	if e.stopped {
+		// Honor a Stop issued before this run: consume it and do nothing.
+		e.stopped = false
+		return nil
+	}
 	for len(e.events) > 0 && !e.stopped {
 		if e.events[0].at > deadline {
+			e.advanceTo(deadline)
 			return nil
 		}
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.at
 		e.nEvents++
+		e.mEvents.Inc()
 		if e.maxEvents > 0 && e.nEvents > e.maxEvents {
 			e.err = fmt.Errorf("%w after %d events at t=%v", ErrEventLimit, e.nEvents, e.now)
 			return e.err
@@ -158,6 +211,7 @@ func (e *Engine) RunUntil(deadline Time) error {
 		}
 	}
 	if e.stopped {
+		e.stopped = false
 		return nil
 	}
 	if blocked := e.blockedProcs(); len(blocked) > 0 {
@@ -165,7 +219,16 @@ func (e *Engine) RunUntil(deadline Time) error {
 			ErrDeadlock, e.now, len(blocked), strings.Join(blocked, "; "))
 		return e.err
 	}
+	e.advanceTo(deadline)
 	return nil
+}
+
+// advanceTo moves the clock forward to deadline on a clean RunUntil return.
+// Forever is a sentinel, not a timestamp, and the clock never runs backward.
+func (e *Engine) advanceTo(deadline Time) {
+	if deadline != units.Forever && deadline > e.now {
+		e.now = deadline
+	}
 }
 
 func (e *Engine) dispatch(ev event) {

@@ -36,6 +36,10 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		state:  "spawned",
 	}
 	e.procs = append(e.procs, p)
+	e.mSpawns.Inc()
+	if e.track != nil {
+		e.track.SetThreadName(TidProc+int64(p.id), "blocked "+name)
+	}
 	go func() {
 		<-p.resume // wait for first dispatch
 		defer func() {
@@ -82,10 +86,14 @@ func (p *Proc) park(state string) {
 	p.state = state
 	e := p.eng
 	e.tracef("park %s: %s", p.name, state)
+	blockedAt := e.now
 	e.parked <- p
 	<-p.resume
 	if p.killed {
 		panic(killedSentinel{})
+	}
+	if e.track != nil && e.now > blockedAt {
+		e.track.Span(TidProc+int64(p.id), state, "block", blockedAt, e.now)
 	}
 	p.state = "running"
 }
@@ -105,6 +113,7 @@ func (p *Proc) checkRunning() {
 // just re-parks.
 func (p *Proc) wake() {
 	e := p.eng
+	e.mWakes.Inc()
 	e.After(0, func() { e.switchTo(p) })
 }
 
