@@ -1,17 +1,48 @@
-# Development targets. `make check` is the tier-1 gate plus the race
-# detector over the packages that own goroutines or shared instruments:
-# internal/sim (process goroutines), internal/metrics (lock-free updates
-# from parallel jobs), internal/runner, and the sweeps that run on them
-# (internal/experiments).
+# Development targets. `make check` is the tier-1 gate (vet, build,
+# test), the race detector over the packages that own goroutines or
+# shared instruments — internal/sim (process goroutines),
+# internal/metrics (lock-free updates from parallel jobs),
+# internal/runner, and the sweeps that run on them
+# (internal/experiments) — plus simlint, the determinism/invariant
+# static-analysis suite (internal/lint, see DESIGN.md "Determinism
+# invariants").
 
 GO ?= go
+SHELL := /bin/bash
 
-.PHONY: check vet build test race bench regen trace-demo
+.PHONY: check vet build test race lint fix-verify bench regen trace-demo
 
-check: vet build test race
+check: vet build test race lint
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the simlint suite: wallclock, globalstate, maprange,
+# goroutine, mathrand, errcheck. Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/simlint
+
+# fix-verify regenerates every experiment's artifacts into a scratch
+# directory and diffs them against the checked-in results/, proving that
+# a refactor (e.g. a lint-driven fix) left the default output
+# byte-identical. The .txt tables must match exactly; the .json
+# artifacts embed per-run wall-clock metadata by design (wall_ms,
+# created_at — see internal/runner artifacts), so those two fields are
+# filtered before comparing. The scratch directory is removed on
+# success and left in place on failure for inspection. Full fidelity
+# takes ~15 min on one core.
+fix-verify:
+	rm -rf .fix-verify-results
+	$(GO) run ./cmd/repro -exp all -out .fix-verify-results >/dev/null
+	diff -ru --exclude=README.md --exclude='*.json' results .fix-verify-results
+	@for f in results/*.json; do \
+		b=$$(basename $$f); \
+		diff <(grep -vE '"(wall_ms|created_at)"' $$f) \
+		     <(grep -vE '"(wall_ms|created_at)"' .fix-verify-results/$$b) \
+			|| { echo "fix-verify: $$b differs beyond wall-clock metadata"; exit 1; }; \
+	done
+	rm -rf .fix-verify-results
+	@echo "results/ verified byte-identical (modulo per-run wall-clock metadata in .json)"
 
 build:
 	$(GO) build ./...

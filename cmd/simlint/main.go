@@ -1,0 +1,119 @@
+// Command simlint runs the repository's determinism/invariant
+// static-analysis suite (internal/lint) over the module tree and exits
+// nonzero if any invariant is violated.
+//
+// Usage:
+//
+//	simlint [-C dir] [-run name[,name...]] [-list]
+//
+// With no flags it locates the enclosing module root (walking up from
+// the working directory to go.mod) and runs every analyzer under the
+// repository policy. Diagnostics print as file:line:col: analyzer:
+// message, sorted by position, paths relative to the module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	chdir := flag.String("C", "", "module root to lint (default: found via go.mod from cwd)")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := *chdir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	diags, err := lintRoot(root, *run)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// lintRoot runs the full suite, optionally restricted to the named
+// analyzers (the policy still decides which packages each one sees).
+func lintRoot(root, run string) ([]lint.Diagnostic, error) {
+	if run == "" {
+		return lint.LintModule(root)
+	}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(run, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := lint.AnalyzerByName(name); !ok {
+			return nil, fmt.Errorf("simlint: unknown analyzer %q (use -list)", name)
+		}
+		selected[name] = true
+	}
+	cfg := lint.DefaultConfig()
+	loader := lint.NewLoader(cfg.ModulePath, root)
+	pkgs, err := loader.LoadTree()
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(pkgs, nil, cfg, func(pkgPath string) []*lint.Analyzer {
+		var active []*lint.Analyzer
+		for _, a := range lint.AnalyzersFor(cfg, pkgPath) {
+			if selected[a.Name] {
+				active = append(active, a)
+			}
+		}
+		return active
+	}), nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("simlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -83,6 +83,7 @@ type Experiment struct {
 	Run   func(Options) (*Result, error)
 }
 
+//simlint:allow globalstate — write-once registry, appended only from package init funcs and copied on read
 var registry []Experiment
 
 func register(id, title string, run func(Options) (*Result, error)) {

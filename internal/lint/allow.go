@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression annotation. The grammar is
+// documented in doc.go:
+//
+//	//simlint:allow check[,check...] [— free-text reason]
+//
+// An annotation suppresses the named checks on its own line and on the
+// line immediately following, so it can trail the offending statement or
+// sit on a line of its own directly above it.
+const allowPrefix = "//simlint:allow"
+
+// allowIndex records, per file and line, which checks are suppressed.
+type allowIndex struct {
+	byFile map[string]map[int]map[string]bool
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byFile: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks := parseAllow(c.Text)
+				if len(checks) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := idx.byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx.byFile[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = map[string]bool{}
+						lines[line] = set
+					}
+					for _, chk := range checks {
+						set[chk] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts the check names from one comment, or nil if the
+// comment is not an annotation.
+func parseAllow(text string) []string {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil
+	}
+	rest := text[len(allowPrefix):]
+	if rest == "" {
+		return nil
+	}
+	// The annotation must be followed by whitespace then the check list;
+	// "//simlint:allowx" is not an annotation.
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	var checks []string
+	for _, chk := range strings.Split(fields[0], ",") {
+		if chk != "" {
+			checks = append(checks, chk)
+		}
+	}
+	return checks
+}
+
+func (idx *allowIndex) allowed(filename string, line int, check string) bool {
+	lines := idx.byFile[filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[line]
+	return set[check] || set["all"]
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// ErrcheckAnalyzer enforces rule 6: error results of the repository's
+// own APIs (runner artifact writes, report/trace writers, experiment
+// drivers) must not be silently discarded. A bare call statement that
+// drops an error hides I/O failures that would otherwise explain a
+// missing or stale results/ file. Stdlib and third-party calls are out
+// of scope (go vet and reviewers cover those); an explicit `_ =`
+// assignment documents an intentional discard and is accepted.
+var ErrcheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc: "flags expression statements that discard an error returned by this module's own APIs; " +
+		"assign to _ to document an intentional discard",
+	Run: runErrcheck,
+}
+
+func runErrcheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := calleeOf(pass, call)
+			if !ok || !isOwnPkg(pass, callee.pkgPath) {
+				return true
+			}
+			if returnsError(pass, call) {
+				pass.Reportf(call.Pos(),
+					"error result of %s is discarded; handle it or assign to _ explicitly", callee.rendered)
+			}
+			return true
+		})
+	}
+}
+
+// isOwnPkg reports whether pkgPath belongs to the module under analysis
+// (or is the analyzed package itself, which covers testdata trees whose
+// synthetic import paths sit outside the module prefix).
+func isOwnPkg(pass *Pass, pkgPath string) bool {
+	if pkgPath == pass.Pkg.Path() {
+		return true
+	}
+	mod := pass.Cfg.ModulePath
+	return mod != "" && (pkgPath == mod || strings.HasPrefix(pkgPath, mod+"/"))
+}
+
+// returnsError reports whether any result of the call is of type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}

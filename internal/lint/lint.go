@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a single package
+// through its Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the check name used in diagnostics and in
+	// //simlint:allow annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Cfg      Config
+
+	allow *allowIndex
+	out   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an //simlint:allow
+// annotation for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allow.allowed(position.Filename, position.Line, p.Analyzer.Name) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Config parameterizes the suite for the tree under analysis. The zero
+// value disables every sanction list; DefaultConfig returns the
+// repository's policy.
+type Config struct {
+	// ModulePath is the import-path prefix treated as "our own code".
+	// errcheck only fires on calls into it (plus same-package calls).
+	ModulePath string
+	// EmitPkgPaths are the packages whose calls count as "emitting
+	// output" inside a map-iteration body (maprange).
+	EmitPkgPaths []string
+	// RandPkgPath is the one package allowed to import math/rand
+	// (the seeded RNG wrapper).
+	RandPkgPath string
+	// SpawnSites lists "pkgpath:filebase" entries sanctioned to contain
+	// go statements (the sim-kernel scheduler).
+	SpawnSites map[string]bool
+}
+
+// DefaultConfig is the repository policy: the sim kernel's proc.go is the
+// one sanctioned goroutine spawn site, internal/rng the one sanctioned
+// math/rand importer, and fabric/metrics/report the packages whose calls
+// count as output-emitting inside a map range.
+func DefaultConfig() Config {
+	return Config{
+		ModulePath:   "repro",
+		EmitPkgPaths: []string{"repro/internal/fabric", "repro/internal/metrics", "repro/internal/report"},
+		RandPkgPath:  "repro/internal/rng",
+		SpawnSites:   map[string]bool{"repro/internal/sim:proc.go": true},
+	}
+}
+
+// DefaultAnalyzers returns the full suite in a stable order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		GlobalStateAnalyzer,
+		MapRangeAnalyzer,
+		GoroutineAnalyzer,
+		MathRandAnalyzer,
+		ErrcheckAnalyzer,
+	}
+}
+
+// AnalyzerByName looks an analyzer up, for -run style selection.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range DefaultAnalyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// AnalyzersFor applies the repository policy: deterministic-simulator
+// invariants (wallclock, globalstate, maprange, goroutine) are enforced
+// on every internal/ package; the module-wide hygiene checks (mathrand,
+// errcheck) also cover the root package, cmd/ drivers, and examples.
+func AnalyzersFor(cfg Config, pkgPath string) []*Analyzer {
+	if strings.HasPrefix(pkgPath, cfg.ModulePath+"/internal/") {
+		return DefaultAnalyzers()
+	}
+	return []*Analyzer{MathRandAnalyzer, ErrcheckAnalyzer}
+}
+
+// Run applies each analyzer to each package and returns the findings
+// sorted by position. The analyzers-per-package selection is the
+// caller's: pass select == nil to run every analyzer everywhere.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config, selectFn func(pkgPath string) []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		active := analyzers
+		if selectFn != nil {
+			active = selectFn(pkg.Path)
+		}
+		if len(active) == 0 {
+			continue
+		}
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range active {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Cfg:      cfg,
+				allow:    allow,
+				out:      &out,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// LintModule loads the module rooted at moduleRoot and runs the full
+// suite under the repository policy. This is the entry point shared by
+// cmd/simlint and the clean-tree meta-test.
+func LintModule(moduleRoot string) ([]Diagnostic, error) {
+	cfg := DefaultConfig()
+	loader := NewLoader(cfg.ModulePath, moduleRoot)
+	pkgs, err := loader.LoadTree()
+	if err != nil {
+		return nil, err
+	}
+	return Run(pkgs, DefaultAnalyzers(), cfg, func(p string) []*Analyzer { return AnalyzersFor(cfg, p) }), nil
+}

@@ -1,0 +1,33 @@
+package lint
+
+import "strconv"
+
+// MathRandAnalyzer enforces rule 5: all randomness routes through
+// internal/rng, whose streams are seeded, splittable, and recorded in
+// run artifacts. A stray math/rand import gives unseeded (or globally
+// shared) state that breaks replay from a recorded seed.
+var MathRandAnalyzer = &Analyzer{
+	Name: "mathrand",
+	Doc: "forbids importing math/rand outside the sanctioned RNG wrapper package; " +
+		"all randomness must come from seeded internal/rng streams",
+	Run: runMathRand,
+}
+
+func runMathRand(pass *Pass) {
+	if pass.Pkg.Path() == pass.Cfg.RandPkgPath {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: randomness must route through internal/rng so streams are "+
+						"seeded and replayable", path)
+			}
+		}
+	}
+}

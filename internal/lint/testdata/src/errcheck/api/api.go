@@ -1,0 +1,8 @@
+// Package api stands in for one of the module's own error-returning
+// APIs (artifact/report writers) in the errcheck analyzer tests.
+package api
+
+import "errors"
+
+// Write fails, so discarding its error loses information.
+func Write() error { return errors.New("api: write failed") }

@@ -1,0 +1,38 @@
+// Package errcheck seeds discarded own-API errors plus the accepted
+// handling patterns.
+package errcheck
+
+import (
+	"errors"
+	"os"
+
+	"errcheck/api"
+)
+
+func mk() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func noErr() int { return 1 }
+
+func bad() {
+	mk()        // want `error result of mk is discarded`
+	pair()      // want `error result of pair is discarded`
+	api.Write() // want `error result of api\.Write is discarded`
+}
+
+func fine() error {
+	_ = mk() // explicit discard is documented intent
+	if err := mk(); err != nil {
+		return err
+	}
+	noErr()
+	os.Remove("not-our-api") // stdlib is out of scope
+	v, err := pair()
+	_ = v
+	return err
+}
+
+func allowed() {
+	mk() //simlint:allow errcheck — test fixture
+}

@@ -1,0 +1,18 @@
+// Package goroutine seeds raw go statements; sanctioned.go plays the
+// role of the sim kernel's one sanctioned spawn site.
+package goroutine
+
+func spawn(fn func()) {
+	go fn() // want `go statement outside the sim kernel spawn site`
+}
+
+func spawnClosure(n int) {
+	go func() { // want `go statement outside the sim kernel spawn site`
+		_ = n * n
+	}()
+}
+
+func allowedSpawn(fn func()) {
+	//simlint:allow goroutine — test fixture
+	go fn()
+}

@@ -1,0 +1,7 @@
+package goroutine
+
+// kernelSpawn lives in a file the test config registers as a sanctioned
+// spawn site, mirroring internal/sim/proc.go.
+func kernelSpawn(fn func()) {
+	go fn()
+}

@@ -1,0 +1,109 @@
+// Package maprange seeds every order-sensitive map-iteration shape plus
+// the order-independent patterns the analyzer must accept.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+
+	"maprange/sink"
+)
+
+func emitCall(m map[string]int) {
+	for k := range m { // want `call to sink\.Emit inside range over map m emits`
+		sink.Emit(k)
+	}
+}
+
+func printCall(m map[string]int) {
+	for k, v := range m { // want `fmt output inside range over map m`
+		fmt.Println(k, v)
+	}
+}
+
+func sendCase(m map[string]int, ch chan int) {
+	for _, v := range m { // want `channel send inside range over map m`
+		ch <- v
+	}
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys, which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `floating-point accumulation into sum`
+		sum += v
+	}
+	return sum
+}
+
+// The canonical idiom: collect keys, sort, then iterate deterministically.
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sink.Emit(k)
+	}
+	return keys
+}
+
+// Integer accumulation commutes; order cannot change the result.
+func intAccum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Max/min scans commute.
+func maxScan(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Keyed stores land each entry in its own slot regardless of order.
+func keyedStore(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// An append target declared inside the loop body is fresh per iteration
+// and cannot observe map order.
+func localAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var pos []int
+		for i, v := range vs {
+			if v > 0 {
+				pos = append(pos, i)
+			}
+		}
+		total += len(pos)
+	}
+	return total
+}
+
+func allowed(m map[string]int) {
+	//simlint:allow maprange — test fixture
+	for k := range m {
+		fmt.Println(k)
+	}
+}

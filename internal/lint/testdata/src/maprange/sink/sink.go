@@ -1,0 +1,6 @@
+// Package sink stands in for an output-emitting package
+// (fabric/metrics/report) in the maprange analyzer tests.
+package sink
+
+// Emit consumes a value in arrival order.
+func Emit(s string) { _ = s }

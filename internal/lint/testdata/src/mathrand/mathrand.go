@@ -1,0 +1,6 @@
+// Package mathrand seeds forbidden math/rand imports (v1 and v2).
+package mathrand
+
+import "math/rand" // want `import of math/rand: randomness must route through internal/rng`
+
+func roll(r *rand.Rand) int { return r.Intn(6) }

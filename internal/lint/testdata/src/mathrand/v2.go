@@ -1,0 +1,5 @@
+package mathrand
+
+import mrand "math/rand/v2" // want `import of math/rand/v2: randomness must route through internal/rng`
+
+func rollV2(r *mrand.Rand) int { return r.IntN(6) }

@@ -1,0 +1,39 @@
+// Package wallclock seeds every forbidden wall-clock call plus the
+// legal patterns the analyzer must not flag.
+package wallclock
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()             // want `call to time\.Now`
+	time.Sleep(time.Millisecond)    // want `call to time\.Sleep`
+	t := time.NewTimer(time.Second) // want `call to time\.NewTimer`
+	t.Stop()
+	<-time.After(time.Second)         // want `call to time\.After`
+	tick := time.NewTicker(time.Hour) // want `call to time\.NewTicker`
+	tick.Stop()
+	return time.Since(start) // want `call to time\.Since`
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //simlint:allow wallclock — test fixture
+}
+
+func allowedAbove() time.Time {
+	//simlint:allow wallclock — test fixture
+	return time.Now()
+}
+
+// Durations and clock-free time arithmetic are legal.
+func fine() time.Duration { return 3 * time.Second }
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+// A local identifier shadowing the package name must not confuse the
+// analyzer: this Now() is not the wall clock.
+func shadowed() int {
+	time := fakeClock{}
+	return time.Now()
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockForbidden lists the time-package functions that read or react
+// to the host's wall clock. time.Duration arithmetic and constants are
+// fine — only sampling the clock (or scheduling against it) breaks the
+// bit-for-bit reproducibility contract.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+}
+
+// WallclockAnalyzer enforces rule 1: deterministic packages must take
+// time only from the simulated clock (sim.Engine.Now / Proc.Now), never
+// from the host. The runner's progress/ETA reporting is the sanctioned
+// exception, annotated //simlint:allow wallclock at each site.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Until/Sleep and timer/ticker construction in deterministic packages; " +
+		"simulated code must read the sim clock so reruns are byte-identical",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if wallclockForbidden[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"call to time.%s reads the wall clock; deterministic code must use the sim clock "+
+						"(annotate //simlint:allow wallclock if host time is intended)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -20,7 +20,7 @@ func (p *Pool) reportProgress(done, total, workers int, start time.Time) {
 	if name == "" {
 		name = "runner"
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //simlint:allow wallclock — progress/ETA line on stderr
 	var line string
 	if done == total {
 		line = fmt.Sprintf("%s: %d/%d jobs in %s (%d workers)",
