@@ -10,7 +10,7 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: check vet build test race lint fix-verify bench regen trace-demo
+.PHONY: check vet build test race lint fix-verify bench bench-baseline bench-compare regen trace-demo
 
 check: vet build test race lint
 
@@ -26,23 +26,25 @@ lint:
 # directory and diffs them against the checked-in results/, proving that
 # a refactor (e.g. a lint-driven fix) left the default output
 # byte-identical. The .txt tables must match exactly; the .json
-# artifacts embed per-run wall-clock metadata by design (wall_ms,
-# created_at — see internal/runner artifacts), so those two fields are
-# filtered before comparing. The scratch directory is removed on
-# success and left in place on failure for inspection. Full fidelity
-# takes ~15 min on one core.
+# artifacts embed per-run metadata by design (wall_ms, created_at, and —
+# on instrumented runs — sim_events / events_per_sec, which depend on
+# host speed and on whether the fabric fast path was pinned off; see
+# internal/runner artifacts), so those fields are filtered before
+# comparing. The scratch directory is removed on success and left in
+# place on failure for inspection. Full fidelity takes ~15 min on one
+# core.
 fix-verify:
 	rm -rf .fix-verify-results
 	$(GO) run ./cmd/repro -exp all -out .fix-verify-results >/dev/null
 	diff -ru --exclude=README.md --exclude='*.json' results .fix-verify-results
 	@for f in results/*.json; do \
 		b=$$(basename $$f); \
-		diff <(grep -vE '"(wall_ms|created_at)"' $$f) \
-		     <(grep -vE '"(wall_ms|created_at)"' .fix-verify-results/$$b) \
-			|| { echo "fix-verify: $$b differs beyond wall-clock metadata"; exit 1; }; \
+		diff <(grep -vE '"(wall_ms|created_at|sim_events|events_per_sec)"' $$f) \
+		     <(grep -vE '"(wall_ms|created_at|sim_events|events_per_sec)"' .fix-verify-results/$$b) \
+			|| { echo "fix-verify: $$b differs beyond per-run metadata"; exit 1; }; \
 	done
 	rm -rf .fix-verify-results
-	@echo "results/ verified byte-identical (modulo per-run wall-clock metadata in .json)"
+	@echo "results/ verified byte-identical (modulo per-run metadata in .json)"
 
 build:
 	$(GO) build ./...
@@ -51,10 +53,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/metrics/... ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race ./internal/sim/... ./internal/fabric/... ./internal/metrics/... ./internal/runner/... ./internal/experiments/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x
+
+# bench-baseline records the per-experiment performance baseline
+# (ns/op, allocs/op, reference event count, events/sec) into
+# BENCH_<n>.json via cmd/perfbase; bench-compare re-measures and fails
+# on any experiment more than 10% slower than the recorded baseline.
+BENCH_BASELINE ?= BENCH_4.json
+
+bench-baseline:
+	$(GO) run ./cmd/perfbase -write $(BENCH_BASELINE)
+
+bench-compare:
+	$(GO) run ./cmd/perfbase -compare $(BENCH_BASELINE)
 
 regen:
 	$(GO) run ./cmd/repro -exp all -out results

@@ -30,6 +30,7 @@ package fabric
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -91,6 +92,30 @@ type Fabric struct {
 	messages uint64
 	bytes    units.Bytes
 
+	// coalesce enables the idle-path fast path: an uncontended message
+	// is delivered by one analytically-scheduled event instead of
+	// per-chunk cut-through events (see tryCoalesce). Defaults to true
+	// exactly when no metrics registry is attached, so instrumented runs
+	// always execute the fully-expanded chunk model.
+	coalesce bool
+	// In-flight message counts per server, keyed the same way stages
+	// are: fabric links by LinkID, host buses by node. A window may only
+	// form on servers no other in-flight message is using — the lazy
+	// chunk model's busy horizon alone cannot reveal traffic that has
+	// not reached a stage yet.
+	linkUsers []int32
+	hostUsers []int32
+	// windows holds the active coalescing windows in creation order.
+	windows []*window
+
+	// Free lists for the per-message and per-chunk scheduling state, so
+	// steady-state Send/chunk traffic allocates nothing. Pool contents
+	// never escape the fabric, so reuse cannot leak state across
+	// messages (every field is reset on get).
+	freeChunks []*chunkState
+	freeMsgs   []*msgState
+	freeWins   []*window
+
 	// Observability (nil-safe no-ops when the engine has no registry).
 	mMsgs     *metrics.Counter
 	mBytes    *metrics.Counter
@@ -119,7 +144,10 @@ func New(eng *sim.Engine, nodes, radix int, params Params) (*Fabric, error) {
 		for i := range f.hosts {
 			f.hosts[i] = eng.NewServer(fmt.Sprintf("pci%d", i))
 		}
+		f.hostUsers = make([]int32, nodes)
 	}
+	f.linkUsers = make([]int32, clos.NumLinks())
+	f.coalesce = eng.Metrics() == nil
 	if reg := eng.Metrics(); reg != nil {
 		f.mMsgs = reg.Counter("fabric.messages")
 		f.mBytes = reg.Counter("fabric.bytes")
@@ -190,52 +218,91 @@ func (f *Fabric) HostBus(node int) *sim.Server {
 	return f.hosts[node]
 }
 
+// maxStages bounds a path's hop count: host bus, injection, uplink,
+// downlink, ejection, host bus.
+const maxStages = 6
+
 // stage is one FIFO hop of a message's path.
 type stage struct {
 	srv  *sim.Server
 	rate units.Rate
 	lat  units.Duration  // latency paid after serialization on this hop
 	link topology.LinkID // -1 for host-bus stages (not a fabric link)
+	host int             // node index for host-bus stages, -1 for links
 }
 
 // path is the materialized hop list for one message, with the index of the
 // uplink stage (-1 if the route does not cross spines) so adaptive fabrics
-// can re-choose the spine chunk by chunk.
+// can re-choose the spine chunk by chunk. The hop list is a fixed-size
+// array so building a path allocates nothing.
 type path struct {
-	stages  []stage
+	stages  [maxStages]stage
+	n       int
 	upIdx   int
 	srcLeaf int
 	dstLeaf int
 }
 
-func (f *Fabric) pathFor(src, dst int) path {
+func (pt *path) add(st stage) {
+	pt.stages[pt.n] = st
+	pt.n++
+}
+
+func (f *Fabric) fillPath(pt *path, src, dst int) {
 	p := f.params
 	clos := f.clos
-	var pt path
+	pt.n = 0
 	pt.upIdx = -1
-	add := func(id topology.LinkID, srv *sim.Server, rate units.Rate, lat units.Duration) {
-		pt.stages = append(pt.stages, stage{srv, rate, lat, id})
-	}
+	pt.srcLeaf, pt.dstLeaf = 0, 0
 	if f.hosts != nil {
-		add(-1, f.hosts[src], p.HostBandwidth, p.HostLatency)
+		pt.add(stage{f.hosts[src], p.HostBandwidth, p.HostLatency, -1, src})
 	}
 	cross := clos.Levels == 2 && clos.LeafOf(src) != clos.LeafOf(dst)
-	add(clos.Injection(src), f.links[clos.Injection(src)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
+	inj := clos.Injection(src)
+	pt.add(stage{f.links[inj], p.LinkBandwidth, p.WireLatency + p.ChassisLatency, inj, -1})
 	if cross {
 		pt.srcLeaf, pt.dstLeaf = clos.LeafOf(src), clos.LeafOf(dst)
 		spine := 0
 		if !p.Adaptive {
 			spine = clos.DestSpine(dst)
 		}
-		pt.upIdx = len(pt.stages)
-		add(clos.Up(pt.srcLeaf, spine), f.links[clos.Up(pt.srcLeaf, spine)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
-		add(clos.Down(spine, pt.dstLeaf), f.links[clos.Down(spine, pt.dstLeaf)], p.LinkBandwidth, p.WireLatency+p.ChassisLatency)
+		pt.upIdx = pt.n
+		up, down := clos.Up(pt.srcLeaf, spine), clos.Down(spine, pt.dstLeaf)
+		pt.add(stage{f.links[up], p.LinkBandwidth, p.WireLatency + p.ChassisLatency, up, -1})
+		pt.add(stage{f.links[down], p.LinkBandwidth, p.WireLatency + p.ChassisLatency, down, -1})
 	}
-	add(clos.Ejection(dst), f.links[clos.Ejection(dst)], p.LinkBandwidth, p.WireLatency)
+	ej := clos.Ejection(dst)
+	pt.add(stage{f.links[ej], p.LinkBandwidth, p.WireLatency, ej, -1})
 	if f.hosts != nil {
-		add(-1, f.hosts[dst], p.HostBandwidth, p.HostLatency)
+		pt.add(stage{f.hosts[dst], p.HostBandwidth, p.HostLatency, -1, dst})
 	}
-	return pt
+}
+
+// addRefs / releaseRefs maintain the per-server in-flight message counts
+// for the whole life of a message (Send to final delivery). For adaptive
+// spine-crossing paths the counted up/down stages are the spine-0
+// placeholders; that is harmless, because windows — the only readers of
+// these counts — never form on spine-crossing paths in adaptive fabrics.
+func (f *Fabric) addRefs(pt *path) {
+	for i := 0; i < pt.n; i++ {
+		st := &pt.stages[i]
+		if st.link >= 0 {
+			f.linkUsers[st.link]++
+		} else {
+			f.hostUsers[st.host]++
+		}
+	}
+}
+
+func (f *Fabric) releaseRefs(pt *path) {
+	for i := 0; i < pt.n; i++ {
+		st := &pt.stages[i]
+		if st.link >= 0 {
+			f.linkUsers[st.link]--
+		} else {
+			f.hostUsers[st.host]--
+		}
+	}
 }
 
 // leastLoadedSpine returns the spine whose uplink from the given leaf has
@@ -248,6 +315,167 @@ func (f *Fabric) leastLoadedSpine(leaf int) int {
 		}
 	}
 	return best
+}
+
+// SetCoalescing forces the idle-path coalescing fast path on or off,
+// overriding the default policy (enabled exactly when the engine has no
+// metrics registry). Forcing it on with a registry attached has no
+// effect: windows are refused whenever per-chunk instruments are live,
+// because a coalesced message records no per-chunk samples. Intended for
+// tests and A/B measurement; delivery times are identical either way.
+func (f *Fabric) SetCoalescing(on bool) { f.coalesce = on }
+
+// msgName renders a message signal's name (for deadlock reports) with a
+// single string allocation instead of fmt.Sprintf's boxing and buffers.
+func msgName(src, dst int, size units.Bytes) string {
+	var b [40]byte
+	s := append(b[:0], "msg "...)
+	s = strconv.AppendInt(s, int64(src), 10)
+	s = append(s, '-', '>')
+	s = strconv.AppendInt(s, int64(dst), 10)
+	s = append(s, ' ', '(')
+	s = strconv.AppendInt(s, int64(size), 10)
+	s = append(s, 'B', ')')
+	return string(s)
+}
+
+// msgState is the per-message bookkeeping, pooled on the fabric so Send
+// allocates no tracking state in steady flow.
+type msgState struct {
+	f         *Fabric
+	pt        path
+	remaining int
+	done      *sim.Signal
+}
+
+func (f *Fabric) getMsg() *msgState {
+	if n := len(f.freeMsgs); n > 0 {
+		ms := f.freeMsgs[n-1]
+		f.freeMsgs[n-1] = nil
+		f.freeMsgs = f.freeMsgs[:n-1]
+		return ms
+	}
+	return &msgState{f: f}
+}
+
+// chunkDelivered retires one chunk; the last one releases the message's
+// in-flight refcounts, recycles the state, and fires completion.
+func (ms *msgState) chunkDelivered() {
+	ms.remaining--
+	if ms.remaining > 0 {
+		return
+	}
+	f := ms.f
+	f.releaseRefs(&ms.pt)
+	done := ms.done
+	ms.done = nil
+	f.freeMsgs = append(f.freeMsgs, ms)
+	done.Fire()
+}
+
+// chunkState carries one in-flight chunk through its path. It is pooled,
+// and the two continuations it schedules (stepFn for the next hop,
+// deliverFn for final delivery) are bound once at allocation, so the
+// per-chunk-per-hop event loop closes over nothing and allocates
+// nothing.
+type chunkState struct {
+	f     *Fabric
+	ms    *msgState
+	i     int
+	size  units.Bytes
+	ready units.Time
+	// Adaptive per-chunk spine override, chosen when the chunk reaches
+	// the uplink stage (nil until then; path stages hold the spine-0
+	// placeholder).
+	upSrv, downSrv   *sim.Server
+	upLink, downLink topology.LinkID
+	stepFn           func()
+	deliverFn        func()
+}
+
+func (f *Fabric) getChunk(ms *msgState, i int, size units.Bytes, ready units.Time) *chunkState {
+	var cs *chunkState
+	if n := len(f.freeChunks); n > 0 {
+		cs = f.freeChunks[n-1]
+		f.freeChunks[n-1] = nil
+		f.freeChunks = f.freeChunks[:n-1]
+	} else {
+		cs = &chunkState{f: f}
+		cs.stepFn = cs.step
+		cs.deliverFn = cs.deliver
+	}
+	cs.ms, cs.i, cs.size, cs.ready = ms, i, size, ready
+	cs.upSrv, cs.downSrv = nil, nil
+	return cs
+}
+
+func (f *Fabric) putChunk(cs *chunkState) {
+	cs.ms = nil
+	cs.upSrv, cs.downSrv = nil, nil
+	f.freeChunks = append(f.freeChunks, cs)
+}
+
+// step is one hop of the lazy cut-through pipeline: the chunk claims the
+// stage it has just arrived at, so cross-traffic interleaves correctly
+// under contention and adaptive spine choice sees true instantaneous
+// load. It runs as the arrival event at cs.ready.
+func (cs *chunkState) step() {
+	f := cs.f
+	pt := &cs.ms.pt
+	i := cs.i
+	if f.params.Adaptive && i == pt.upIdx && cs.upSrv == nil {
+		spine := f.leastLoadedSpine(pt.srcLeaf)
+		cs.upLink = f.clos.Up(pt.srcLeaf, spine)
+		cs.downLink = f.clos.Down(spine, pt.dstLeaf)
+		cs.upSrv = f.links[cs.upLink]
+		cs.downSrv = f.links[cs.downLink]
+	}
+	st := &pt.stages[i]
+	srv, link := st.srv, st.link
+	if cs.upSrv != nil {
+		if i == pt.upIdx {
+			srv, link = cs.upSrv, cs.upLink
+		} else if i == pt.upIdx+1 {
+			srv, link = cs.downSrv, cs.downLink
+		}
+	}
+	if f.linkBytes != nil && link >= 0 {
+		f.linkBytes[link] += cs.size
+		if wait := srv.BusyUntil().Sub(cs.ready); wait > 0 {
+			f.hWait.Observe(int64(wait / units.Nanosecond))
+		} else {
+			f.hWait.Observe(0)
+		}
+	}
+	ser := st.rate.TimeFor(cs.size + f.params.PacketOverhead)
+	out := srv.ServeAt(cs.ready, ser).Add(st.lat)
+	if i < pt.n-1 {
+		cs.i = i + 1
+		cs.ready = out
+		f.eng.At(out, cs.stepFn)
+		return
+	}
+	f.eng.At(out, cs.deliverFn)
+}
+
+// deliver retires the chunk at its final-delivery time.
+func (cs *chunkState) deliver() {
+	ms := cs.ms
+	cs.f.putChunk(cs)
+	ms.chunkDelivered()
+}
+
+// chunkPlan reports the chunking of a message: n MTU-sized chunks with
+// the last one sized last (a zero-size message is one zero-size chunk: a
+// bare header). Sizes are derived arithmetically — chunk k is MTU for
+// k < n-1 and last for k == n-1 — so no per-message slice is built.
+func (f *Fabric) chunkPlan(size units.Bytes) (n int, last units.Bytes) {
+	mtu := f.params.MTU
+	n = int((size + mtu - 1) / mtu)
+	if n == 0 {
+		n = 1
+	}
+	return n, size - units.Bytes(n-1)*mtu
 }
 
 // Send injects a message of the given size from src to dst at the current
@@ -265,7 +493,7 @@ func (f *Fabric) Send(src, dst int, size units.Bytes) *sim.Signal {
 	f.bytes += size
 	f.mMsgs.Inc()
 	f.mBytes.Add(uint64(size))
-	done := f.eng.NewSignal(fmt.Sprintf("msg %d->%d (%v)", src, dst, size))
+	done := f.eng.NewSignal(msgName(src, dst, size))
 	if f.track != nil {
 		begin := f.eng.Now()
 		name := fmt.Sprintf("msg->%d %v", dst, size)
@@ -274,68 +502,36 @@ func (f *Fabric) Send(src, dst int, size units.Bytes) *sim.Signal {
 		})
 	}
 
-	pt := f.pathFor(src, dst)
-	sizes := f.chunkSizes(size)
-	f.mChunks.Add(uint64(len(sizes)))
-	remaining := len(sizes)
-	for _, sz := range sizes {
-		f.sendChunk(pt, 0, sz, f.eng.Now(), func() {
-			remaining--
-			if remaining == 0 {
-				done.Fire()
-			}
-		})
+	ms := f.getMsg()
+	ms.done = done
+	f.fillPath(&ms.pt, src, dst)
+	n, last := f.chunkPlan(size)
+	f.mChunks.Add(uint64(n))
+	ms.remaining = n
+
+	// Any window sharing a server with this message must materialize
+	// before the newcomer is scheduled, so its chunks queue behind
+	// exactly the traffic the expanded model would have posted.
+	f.expandTouching(&ms.pt)
+	f.addRefs(&ms.pt)
+
+	if f.coalesce && f.linkBytes == nil && f.track == nil &&
+		(!f.params.Adaptive || ms.pt.upIdx < 0) &&
+		f.tryCoalesce(ms, n, last) {
+		return done
+	}
+
+	now := f.eng.Now()
+	mtu := f.params.MTU
+	for k := 0; k < n; k++ {
+		sz := mtu
+		if k == n-1 {
+			sz = last
+		}
+		cs := f.getChunk(ms, 0, sz, now)
+		f.eng.At(now, cs.stepFn)
 	}
 	return done
-}
-
-// chunkSizes splits a message into MTU-sized chunks (a zero-size message is
-// one zero-size chunk: a bare header).
-func (f *Fabric) chunkSizes(size units.Bytes) []units.Bytes {
-	mtu := f.params.MTU
-	n := int((size + mtu - 1) / mtu)
-	if n == 0 {
-		n = 1
-	}
-	out := make([]units.Bytes, n)
-	for i := range out {
-		out[i] = mtu
-	}
-	out[n-1] = size - units.Bytes(n-1)*mtu
-	return out
-}
-
-// sendChunk advances one chunk through the path starting at stage i. It is
-// lazily scheduled: the chunk claims each hop only when it actually arrives
-// there, so cross-traffic interleaves correctly under contention, and
-// adaptive spine choice sees true instantaneous load.
-func (f *Fabric) sendChunk(pt path, i int, size units.Bytes, ready units.Time, delivered func()) {
-	f.eng.At(ready, func() {
-		if f.params.Adaptive && i == pt.upIdx {
-			spine := f.leastLoadedSpine(pt.srcLeaf)
-			pt.stages = append([]stage(nil), pt.stages...)
-			pt.stages[i].srv = f.links[f.clos.Up(pt.srcLeaf, spine)]
-			pt.stages[i].link = f.clos.Up(pt.srcLeaf, spine)
-			pt.stages[i+1].srv = f.links[f.clos.Down(spine, pt.dstLeaf)]
-			pt.stages[i+1].link = f.clos.Down(spine, pt.dstLeaf)
-		}
-		st := pt.stages[i]
-		if f.linkBytes != nil && st.link >= 0 {
-			f.linkBytes[st.link] += size
-			if wait := st.srv.BusyUntil().Sub(ready); wait > 0 {
-				f.hWait.Observe(int64(wait / units.Nanosecond))
-			} else {
-				f.hWait.Observe(0)
-			}
-		}
-		ser := st.rate.TimeFor(size + f.params.PacketOverhead)
-		out := st.srv.ServeAt(ready, ser).Add(st.lat)
-		if i < len(pt.stages)-1 {
-			f.sendChunk(pt, i+1, size, out, delivered)
-			return
-		}
-		f.eng.At(out, delivered)
-	})
 }
 
 // MinLatency reports the unloaded one-way latency of a size-byte message
@@ -344,15 +540,20 @@ func (f *Fabric) sendChunk(pt path, i int, size units.Bytes, ready units.Time, d
 // simulated delivery time equals this value exactly. It is a convenience
 // for calibration and tests, not a simulation.
 func (f *Fabric) MinLatency(src, dst int, size units.Bytes) units.Duration {
-	pt := f.pathFor(src, dst)
+	var pt path
+	f.fillPath(&pt, src, dst)
 	p := f.params
-	sizes := f.chunkSizes(size)
-	m := len(pt.stages)
-	busy := make([]units.Time, m) // service-completion horizon per stage
+	n, last := f.chunkPlan(size)
+	var busy [maxStages]units.Time // service-completion horizon per stage
 	var delivered units.Time
-	for _, sz := range sizes {
+	for k := 0; k < n; k++ {
+		sz := p.MTU
+		if k == n-1 {
+			sz = last
+		}
 		var ready units.Time
-		for i, st := range pt.stages {
+		for i := 0; i < pt.n; i++ {
+			st := &pt.stages[i]
 			start := ready
 			if busy[i] > start {
 				start = busy[i]

@@ -1,0 +1,79 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/apps/lammps"
+	"repro/internal/mpi"
+	"repro/internal/units"
+)
+
+// runAB builds the same machine twice — coalescing on (default) and
+// forced off — runs the same app on both, and requires bit-identical
+// timing. This is the machine-level counterpart of the fabric package's
+// TestCoalescingExact: it exercises the fast path under the full NIC,
+// transport, and MPI stacks, including the ib doorbell traffic that
+// touches fabric host buses directly.
+func runAB(t *testing.T, net Network, ranks, ppn int, app func(*mpi.Rank)) {
+	t.Helper()
+	var results [2]*mpi.Result
+	for i, disable := range []bool{false, true} {
+		m, err := New(Options{
+			Network: net, Ranks: ranks, PPN: ppn,
+			DisableCoalescing: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	on, off := results[0], results[1]
+	if on.Elapsed != off.Elapsed {
+		t.Fatalf("elapsed diverged: %v (coalesced) != %v (chunked)", on.Elapsed, off.Elapsed)
+	}
+	for r := range on.RankElapsed {
+		if on.RankElapsed[r] != off.RankElapsed[r] {
+			t.Fatalf("rank %d elapsed diverged: %v != %v",
+				r, on.RankElapsed[r], off.RankElapsed[r])
+		}
+	}
+}
+
+// TestCoalescingExactMachine checks coalescing exactness through the
+// complete simulated machines of the paper's experiments: a ping-pong
+// sweep covering the eager/rendezvous protocol switch (the fig. 1
+// microbenchmarks) and small LAMMPS LJS runs at the fig. 2 scales.
+func TestCoalescingExactMachine(t *testing.T) {
+	sizes := []units.Bytes{0, 8, 1 * units.KiB, 16 * units.KiB, 256 * units.KiB}
+	pingpong := func(r *mpi.Rank) {
+		for _, size := range sizes {
+			for rep := 0; rep < 3; rep++ {
+				if r.ID() == 0 {
+					r.Send(1, 0, size)
+					r.Recv(1, 1)
+				} else {
+					r.Recv(0, 0)
+					r.Send(0, 1, size)
+				}
+			}
+		}
+	}
+	for _, net := range Networks {
+		net := net
+		t.Run(net.Short()+"/pingpong", func(t *testing.T) {
+			runAB(t, net, 2, 1, pingpong)
+		})
+		t.Run(net.Short()+"/lammps", func(t *testing.T) {
+			for _, cfg := range []struct{ ranks, ppn int }{{2, 1}, {4, 2}, {8, 2}} {
+				p := lammps.LJS(2)
+				runAB(t, net, cfg.ranks, cfg.ppn, func(r *mpi.Rank) {
+					lammps.Run(r, p)
+				})
+			}
+		})
+	}
+}

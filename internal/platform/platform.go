@@ -121,6 +121,13 @@ type Options struct {
 	// Label names the machine's timeline track (e.g. "pingpong IB").
 	Label string
 
+	// DisableCoalescing forces the fabric to run the fully-expanded
+	// chunk-level event model even without a metrics registry. Delivery
+	// times are identical either way (see fabric.SetCoalescing); this
+	// exists so equivalence tests and A/B measurements can pin the slow
+	// path explicitly.
+	DisableCoalescing bool
+
 	// Optional hooks to perturb parameters for ablation studies. Called
 	// with the calibrated defaults before construction.
 	TuneFabric func(*fabric.Params)
@@ -162,6 +169,9 @@ func New(opts Options) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.DisableCoalescing {
+			fab.SetCoalescing(false)
+		}
 		hp := ib.DefaultParams()
 		tp := mvib.DefaultParams()
 		if opts.TuneIB != nil {
@@ -183,6 +193,9 @@ func New(opts Options) (*Machine, error) {
 		fab, err := fabric.New(eng, nodes, ElanRadix, fp)
 		if err != nil {
 			return nil, err
+		}
+		if opts.DisableCoalescing {
+			fab.SetCoalescing(false)
 		}
 		ep := elan.DefaultParams()
 		if opts.TuneElan != nil {

@@ -17,7 +17,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -42,31 +41,93 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a monomorphic 4-ary min-heap of events ordered by
+// (at, seq). It replaces container/heap on the kernel's hottest path:
+// a concrete element type means no interface{} boxing on push/pop, and
+// a 4-ary layout halves the tree depth versus a binary heap, trading a
+// slightly wider sibling scan (cheap: the elements are adjacent in one
+// or two cache lines) for fewer swap levels per sift.
+//
+// Because every queued event carries a unique seq and the comparison is
+// a strict total order on (at, seq), the dequeue sequence is the unique
+// sorted order of the queued keys — identical to what any correct heap
+// (including the previous container/heap implementation) produces. The
+// arity is therefore invisible to simulations; see
+// TestEventQueueMatchesReferenceHeap for the differential proof.
+//
+// The backing slice is retained across Run/RunUntil calls and popped
+// slots are cleared (so the fn closures can be collected) without
+// shrinking capacity: after warm-up, push and pop are allocation-free.
+type eventQueue struct {
+	ev []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(q.ev[i], q.ev[p]) {
+			break
+		}
+		q.ev[i], q.ev[p] = q.ev[p], q.ev[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // clear the vacated slot so fn can be collected
+	q.ev = q.ev[:n]
+	if n > 1 {
+		q.siftDown()
+	}
+	return top
+}
+
+func (q *eventQueue) siftDown() {
+	ev := q.ev
+	n := len(ev)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(ev[c], ev[min]) {
+				min = c
+			}
+		}
+		if !eventLess(ev[min], ev[i]) {
+			return
+		}
+		ev[i], ev[min] = ev[min], ev[i]
+		i = min
+	}
 }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	seq    uint64
 
 	procs   []*Proc
@@ -148,7 +209,7 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -192,12 +253,12 @@ func (e *Engine) RunUntil(deadline Time) error {
 		e.stopped = false
 		return nil
 	}
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > deadline {
+	for e.events.len() > 0 && !e.stopped {
+		if e.events.ev[0].at > deadline {
 			e.advanceTo(deadline)
 			return nil
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		e.now = ev.at
 		e.nEvents++
 		e.mEvents.Inc()
@@ -244,7 +305,7 @@ func (e *Engine) blockedProcs() []string {
 	var out []string
 	for _, p := range e.procs {
 		if !p.done {
-			out = append(out, fmt.Sprintf("%s (%s)", p.name, p.state))
+			out = append(out, fmt.Sprintf("%s (%s)", p.name, p.stateString()))
 		}
 	}
 	sort.Strings(out)

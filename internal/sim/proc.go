@@ -17,8 +17,19 @@ type Proc struct {
 	resume chan struct{}
 	done   bool
 	killed bool
-	state  string // human-readable blocking reason, for deadlock reports
+	// Blocking reason for deadlock reports and trace spans, split in two
+	// so hot paths park without building a string: the rendered state is
+	// state+stateObj (e.g. "waiting on signal " + name), concatenated
+	// only when a report or span actually needs it.
+	state    string
+	stateObj string
+	// switchFn is the resume continuation, bound once at Spawn so waking
+	// the process schedules no fresh closure.
+	switchFn func()
 }
+
+// stateString renders the blocking reason (cold paths only).
+func (p *Proc) stateString() string { return p.state + p.stateObj }
 
 // errKilled is the sentinel panic value used by Engine.Shutdown to unwind a
 // parked process goroutine.
@@ -36,6 +47,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		state:  "spawned",
 	}
 	e.procs = append(e.procs, p)
+	p.switchFn = func() { e.switchTo(p) }
 	e.mSpawns.Inc()
 	if e.track != nil {
 		e.track.SetThreadName(TidProc+int64(p.id), "blocked "+name)
@@ -50,7 +62,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 				}
 			}
 			p.done = true
-			p.state = "done"
+			p.state, p.stateObj = "done", ""
 			e.parked <- p // return control to the scheduler
 		}()
 		if p.killed {
@@ -58,7 +70,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.After(0, func() { e.switchTo(p) })
+	e.After(0, p.switchFn)
 	return p
 }
 
@@ -72,20 +84,26 @@ func (e *Engine) switchTo(p *Proc) {
 		panic("sim: switchTo while a process is running")
 	}
 	e.running = p
-	p.state = "running"
-	e.tracef("run %s", p.name)
+	p.state, p.stateObj = "running", ""
+	if e.Trace != nil {
+		e.tracef("run %s", p.name)
+	}
 	p.resume <- struct{}{}
 	<-e.parked
 	e.running = nil
 }
 
-// park blocks the calling process until the scheduler resumes it. The state
-// string documents what the process is waiting for.
-func (p *Proc) park(state string) {
+// park blocks the calling process until the scheduler resumes it. The
+// state/obj pair documents what the process is waiting for; it is only
+// rendered to a string when a deadlock report, trace line, or timeline
+// span needs it, so parking itself allocates nothing.
+func (p *Proc) park(state, obj string) {
 	p.checkRunning()
-	p.state = state
+	p.state, p.stateObj = state, obj
 	e := p.eng
-	e.tracef("park %s: %s", p.name, state)
+	if e.Trace != nil {
+		e.tracef("park %s: %s", p.name, p.stateString())
+	}
 	blockedAt := e.now
 	e.parked <- p
 	<-p.resume
@@ -93,9 +111,9 @@ func (p *Proc) park(state string) {
 		panic(killedSentinel{})
 	}
 	if e.track != nil && e.now > blockedAt {
-		e.track.Span(TidProc+int64(p.id), state, "block", blockedAt, e.now)
+		e.track.Span(TidProc+int64(p.id), state+obj, "block", blockedAt, e.now)
 	}
-	p.state = "running"
+	p.state, p.stateObj = "running", ""
 }
 
 func (p *Proc) checkRunning() {
@@ -114,7 +132,7 @@ func (p *Proc) checkRunning() {
 func (p *Proc) wake() {
 	e := p.eng
 	e.mWakes.Inc()
-	e.After(0, func() { e.switchTo(p) })
+	e.After(0, p.switchFn)
 }
 
 // Name reports the process name given at Spawn.
@@ -142,9 +160,9 @@ func (p *Proc) Sleep(d Duration) {
 	}
 	e := p.eng
 	target := e.now.Add(d)
-	e.At(target, func() { e.switchTo(p) })
+	e.At(target, p.switchFn)
 	for e.now < target {
-		p.park(fmt.Sprintf("sleeping until %v", target))
+		p.park("sleeping", "")
 	}
 }
 
@@ -163,5 +181,5 @@ func (p *Proc) SleepUntil(t Time) {
 func (p *Proc) Yield() {
 	p.checkRunning()
 	p.wake()
-	p.park("yielding")
+	p.park("yielding", "")
 }

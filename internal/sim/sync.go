@@ -6,11 +6,17 @@ import "fmt"
 // event-driven code can attach callbacks. Firing is idempotent-hostile:
 // firing twice is a model bug and panics.
 type Signal struct {
-	eng     *Engine
-	name    string
-	fired   bool
-	at      Time
+	eng   *Engine
+	name  string
+	fired bool
+	at    Time
+	// First waiter and first callback live in inline slots: most signals
+	// (one per fabric message, RDMA op, MPI request) see exactly one
+	// waiter and at most one callback, so the common case registers and
+	// fires without growing a slice.
+	waiter0 *Proc
 	waiters []*Proc
+	cb0     func()
 	cbs     []func()
 }
 
@@ -33,10 +39,18 @@ func (s *Signal) Fire() {
 	}
 	s.fired = true
 	s.at = s.eng.now
+	if s.waiter0 != nil {
+		s.waiter0.wake()
+		s.waiter0 = nil
+	}
 	for _, w := range s.waiters {
 		w.wake()
 	}
 	s.waiters = nil
+	if s.cb0 != nil {
+		s.eng.After(0, s.cb0)
+		s.cb0 = nil
+	}
 	for _, cb := range s.cbs {
 		cb := cb
 		s.eng.After(0, cb)
@@ -51,6 +65,10 @@ func (s *Signal) OnFire(fn func()) {
 		s.eng.After(0, fn)
 		return
 	}
+	if s.cb0 == nil && len(s.cbs) == 0 {
+		s.cb0 = fn
+		return
+	}
 	s.cbs = append(s.cbs, fn)
 }
 
@@ -59,10 +77,17 @@ func (s *Signal) OnFire(fn func()) {
 // accumulate entries, or one Fire would schedule a burst of redundant
 // wakes that re-register again — an amplifying event storm.
 func (s *Signal) addWaiter(p *Proc) {
+	if s.waiter0 == p {
+		return
+	}
 	for _, w := range s.waiters {
 		if w == p {
 			return
 		}
+	}
+	if s.waiter0 == nil && len(s.waiters) == 0 {
+		s.waiter0 = p
+		return
 	}
 	s.waiters = append(s.waiters, p)
 }
@@ -73,7 +98,7 @@ func (p *Proc) Wait(s *Signal) {
 	p.checkRunning()
 	for !s.fired {
 		s.addWaiter(p)
-		p.park("waiting on signal " + s.name)
+		p.park("waiting on signal ", s.name)
 	}
 }
 
@@ -103,7 +128,7 @@ func (p *Proc) WaitAny(sigs ...*Signal) int {
 		for _, s := range sigs {
 			s.addWaiter(p)
 		}
-		p.park("waiting on any of " + sigs[0].name + "...")
+		p.park("waiting on any of ", sigs[0].name)
 	}
 }
 
@@ -163,7 +188,7 @@ func (q *Queue) Pop(p *Proc) interface{} {
 		if !dup {
 			q.waiters = append(q.waiters, p)
 		}
-		p.park("popping queue " + q.name)
+		p.park("popping queue ", q.name)
 	}
 }
 
@@ -178,6 +203,16 @@ type Server struct {
 	busyUntil Time
 	busyTotal Duration // accumulated service time, for utilization stats
 	served    uint64
+
+	// touch, when non-nil, runs at the top of ServeAt before the new work
+	// is applied. It exists for layers that summarize future FIFO traffic
+	// analytically (fabric message coalescing): the hook lets the owner
+	// materialize that summarized traffic into the horizon the moment any
+	// other client touches the server, so the newcomer queues behind
+	// exactly the work the event-by-event model would have posted. The
+	// hook may mutate the server (via Absorb); ServeAt reads server state
+	// only after it returns.
+	touch func()
 }
 
 // NewServer creates an idle server.
@@ -193,6 +228,9 @@ func (s *Server) Serve(d Duration) Time {
 // ServeAt enqueues work of duration d that cannot start before ready (e.g.
 // data not yet arrived) and returns its completion time.
 func (s *Server) ServeAt(ready Time, d Duration) Time {
+	if s.touch != nil {
+		s.touch()
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -235,6 +273,27 @@ func (s *Server) ServePipelined(occupancy, latency Duration, fn func()) Time {
 func (s *Server) Occupy(p *Proc, d Duration) {
 	done := s.Serve(d)
 	p.SleepUntil(done)
+}
+
+// OnServe installs (or, with nil, removes) the server's touch hook: a
+// callback invoked at the top of every ServeAt before the new work is
+// applied. At most one hook is active at a time; installing over an
+// existing hook replaces it. The hook must uninstall itself before
+// re-entering ServeAt on the same server.
+func (s *Server) OnServe(fn func()) { s.touch = fn }
+
+// Absorb folds a batch of already-completed-in-the-model FIFO work into
+// the server's accounting in O(1): the busy horizon advances to horizon
+// (never backward), busyTotal grows by busy, and served by items. It is
+// the bulk counterpart of `items` ServeAt calls whose start/completion
+// times the caller computed analytically — utilization and served
+// statistics come out identical to posting each item individually.
+func (s *Server) Absorb(horizon Time, busy Duration, items uint64) {
+	if horizon > s.busyUntil {
+		s.busyUntil = horizon
+	}
+	s.busyTotal += busy
+	s.served += items
 }
 
 // BusyUntil reports the server's current busy horizon.
