@@ -10,7 +10,7 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: check vet build test race lint fix-verify bench bench-baseline bench-compare regen trace-demo
+.PHONY: check vet build test race lint fix-verify bench bench-baseline bench-compare regen trace-demo chaos
 
 check: vet build test race lint
 
@@ -39,8 +39,8 @@ fix-verify:
 	diff -ru --exclude=README.md --exclude='*.json' results .fix-verify-results
 	@for f in results/*.json; do \
 		b=$$(basename $$f); \
-		diff <(grep -vE '"(wall_ms|created_at|sim_events|events_per_sec)"' $$f) \
-		     <(grep -vE '"(wall_ms|created_at|sim_events|events_per_sec)"' .fix-verify-results/$$b) \
+		diff <(grep -vE '"(wall_ms|created_at|sim_events|events_per_sec|checksum)"' $$f) \
+		     <(grep -vE '"(wall_ms|created_at|sim_events|events_per_sec|checksum)"' .fix-verify-results/$$b) \
 			|| { echo "fix-verify: $$b differs beyond per-run metadata"; exit 1; }; \
 	done
 	rm -rf .fix-verify-results
@@ -53,7 +53,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/fabric/... ./internal/metrics/... ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race ./internal/sim/... ./internal/fabric/... ./internal/fault/... ./internal/metrics/... ./internal/runner/... ./internal/experiments/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x
@@ -72,6 +72,31 @@ bench-compare:
 
 regen:
 	$(GO) run ./cmd/repro -exp all -out results
+
+# chaos runs the whole suite under a fixed-seed randomized fault storm on
+# every fabric, with per-job retries on, serial and parallel, and asserts
+# the two runs are byte-identical: fault injection, recovery, and the
+# runner's failure handling are all deterministic functions of (spec,
+# seed). An experiment that dies under the storm (e.g. an IB QP error
+# after retry exhaustion) is a legitimate deterministic outcome, so a
+# nonzero repro exit is tolerated — but the SAME experiments must survive
+# at both worker counts, which the directory diff enforces (a missing or
+# extra artifact fails it). The .txt tables must match exactly; .json
+# artifacts are compared modulo the same per-run metadata as fix-verify.
+chaos:
+	rm -rf .chaos-1 .chaos-n
+	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -jobs 1 -out .chaos-1 >/dev/null || true
+	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -jobs 8 -out .chaos-n >/dev/null || true
+	@ls .chaos-1/*.txt >/dev/null 2>&1 || { echo "chaos: no experiment survived the storm"; exit 1; }
+	diff -ru --exclude='*.json' .chaos-1 .chaos-n
+	@for f in .chaos-1/*.json; do \
+		b=$$(basename $$f); \
+		diff <(grep -vE '"(wall_ms|created_at|sim_events|events_per_sec|jobs)"' $$f) \
+		     <(grep -vE '"(wall_ms|created_at|sim_events|events_per_sec|jobs)"' .chaos-n/$$b) \
+			|| { echo "chaos: $$b differs between -jobs 1 and -jobs 8"; exit 1; }; \
+	done
+	rm -rf .chaos-1 .chaos-n
+	@echo "chaos: storm:2026 suite deterministic across worker counts"
 
 # trace-demo produces sample observability artifacts: a counters snapshot
 # and a chrome://tracing (or ui.perfetto.dev) loadable timeline of the

@@ -14,6 +14,8 @@
 //	repro -exp all -timeout 5m  # abandon any single simulation past 5m
 //	repro -exp fig1b -metrics m.json    # counters/histograms snapshot per experiment
 //	repro -exp fig2 -tracefile t.json   # chrome://tracing timeline of every machine
+//	repro -exp all -faults storm:2026   # seeded random fault storm on every fabric
+//	repro -exp fig4 -faults 'loss:all:p=0.001' -retries 2  # explicit plan + job retry
 //
 // Experiments print to stdout in registration order regardless of -jobs
 // (results stream as soon as their predecessors are done), so stdout is
@@ -61,6 +63,8 @@ func run() int {
 		progress = flag.Bool("progress", false, "report per-sweep progress on stderr (done/total, ETA)")
 		metOut   = flag.String("metrics", "", "write a per-experiment JSON snapshot of simulation counters/gauges/histograms to this file")
 		traceOut = flag.String("tracefile", "", "write a merged chrome://tracing (trace_event JSON) timeline of every simulated machine to this file")
+		faults   = flag.String("faults", "", "fault plan installed on every simulated fabric: a spec like 'loss:all:p=0.001;down:spine(0):at=10us:for=200us', or 'storm:<seed>' for a randomized storm (deterministic: same spec => byte-identical output at any -jobs)")
+		retries  = flag.Int("retries", 0, "re-run a sweep point that panics or times out up to N extra times before recording the failure")
 	)
 	flag.Parse()
 
@@ -96,7 +100,8 @@ func run() int {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout}
+	opts := experiments.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout,
+		Faults: *faults, Retries: *retries}
 	if *progress {
 		opts.Progress = os.Stderr
 	}
@@ -292,7 +297,8 @@ func writeArtifacts(dir string, e experiments.Experiment, oc *outcome,
 			CreatedAt: time.Now().UTC().Format(time.RFC3339),
 			SimEvents: oc.simEvents,
 		},
-		Notes: oc.res.Notes,
+		Notes:    oc.res.Notes,
+		Failures: oc.res.Failures,
 	}
 	if oc.simEvents > 0 && oc.wall > 0 {
 		a.Meta.EventsPerSec = float64(oc.simEvents) / oc.wall.Seconds()

@@ -83,6 +83,7 @@ func runXReg(o Options) (*Result, error) {
 		cols = append(cols, column{label: capLabel(c), build: func() (*platform.Machine, error) {
 			return platform.New(platform.Options{
 				Network: platform.InfiniBand4X, Ranks: 2, PPN: 1,
+				Metrics: o.Metrics, FaultSpec: o.Faults,
 				TuneIB: func(hp *ib.Params, _ *mvib.Params) {
 					if c == 0 {
 						hp.RegCacheCap = 1 // effectively uncacheable
@@ -94,7 +95,8 @@ func runXReg(o Options) (*Result, error) {
 		}})
 	}
 	cols = append(cols, column{label: "Elan4", build: func() (*platform.Machine, error) {
-		return platform.New(platform.Options{Network: platform.QuadricsElan4, Ranks: 2, PPN: 1})
+		return platform.New(platform.Options{Network: platform.QuadricsElan4, Ranks: 2, PPN: 1,
+			Metrics: o.Metrics, FaultSpec: o.Faults})
 	}})
 	colVals, err := runner.Map(context.Background(), o.pool("xreg"), cols,
 		func(_ int, c column) string { return c.label },
@@ -154,7 +156,8 @@ func runXOverlap(o Options) (*Result, error) {
 	ratios, err := runner.Map(context.Background(), o.pool("xoverlap"), cells,
 		func(_ int, c cell) string { return fmt.Sprintf("overlap %s %v", c.net.Short(), c.size) },
 		func(_ context.Context, c cell) (float64, error) {
-			m, err := platform.New(platform.Options{Network: c.net, Ranks: 2, PPN: 1})
+			m, err := platform.New(platform.Options{Network: c.net, Ranks: 2, PPN: 1,
+				Metrics: o.Metrics, FaultSpec: o.Faults})
 			if err != nil {
 				return 0, err
 			}

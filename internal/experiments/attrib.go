@@ -44,6 +44,8 @@ func runXAttrib(o Options) (*Result, error) {
 	run := func(opts platform.Options) (float64, error) {
 		opts.Ranks = nodes * ppn
 		opts.PPN = ppn
+		opts.Metrics = o.Metrics
+		opts.FaultSpec = o.Faults
 		m, err := platform.New(opts)
 		if err != nil {
 			return 0, err
@@ -126,6 +128,7 @@ func runXEager(o Options) (*Result, error) {
 		th := th
 		m, err := platform.New(platform.Options{
 			Network: platform.InfiniBand4X, Ranks: 2, PPN: 1,
+			Metrics: o.Metrics, FaultSpec: o.Faults,
 			TuneIB: func(_ *ib.Params, tp *mvib.Params) {
 				tp.RDMAEagerMax = th
 				if tp.EagerThreshold < th {
@@ -185,6 +188,7 @@ func runXNoise(o Options) (*Result, error) {
 	run := func(nodes int, noisy bool) (float64, error) {
 		m, err := platform.New(platform.Options{
 			Network: platform.QuadricsElan4, Ranks: nodes, PPN: 1,
+			Metrics: o.Metrics, FaultSpec: o.Faults,
 			TuneMPI: func(cfg *mpi.Config) {
 				if noisy {
 					cfg.Node.NoiseFraction = 0.02
@@ -244,6 +248,8 @@ func runXRGet(o Options) (*Result, error) {
 	// receiver matches the RTS (ratio << 1), like Elan's NIC does.
 	measure := func(opts platform.Options, size units.Bytes) (float64, error) {
 		opts.Ranks, opts.PPN = 2, 1
+		opts.Metrics = o.Metrics
+		opts.FaultSpec = o.Faults
 		m, err := platform.New(opts)
 		if err != nil {
 			return 0, err

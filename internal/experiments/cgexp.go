@@ -19,12 +19,13 @@ func runFig6(o Options) (*Result, error) {
 		params = nascg.Default(nascg.ClassS)
 		params.Class.OuterIt = 3
 	}
-	times, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
+	times, fails, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
 		func(r *mpi.Rank) { nascg.Run(r, params) })
 	if err != nil {
 		return nil, err
 	}
 	r := &Result{ID: "fig6", Title: "NAS Parallel Benchmark CG, class " + params.Class.Name}
+	attachFailures(r, fails)
 	tm := newTable("Figure 6(a) — MOps/second/process", append([]string{"procs"}, seriesHeaders()...)...)
 	te := newTable("Figure 6(b) — scaling efficiency (%)", append([]string{"procs"}, seriesHeaders()...)...)
 	eff := report.Efficiency{Scaled: false}

@@ -41,6 +41,46 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestFaultDeterminism extends the parallel-determinism guard to faulty
+// runs: with a fault plan installed (the xfault experiment builds its own
+// specs; fig1b runs under an explicit loss plan), rendered tables must
+// still be byte-identical across worker counts — fault windows are sim
+// events and loss draws come from per-link streams, so nothing depends on
+// host scheduling.
+func TestFaultDeterminism(t *testing.T) {
+	cases := []struct {
+		id     string
+		faults string
+	}{
+		{"xfault", ""},
+		// Loss kept low: fig1b's MiB-scale messages draw per chunk per
+		// link, and a plan that routinely kills every attempt would
+		// deterministically exhaust IB's retry budget instead.
+		{"fig1b", "loss:all:p=0.00001;degrade:inj(0):bw=0.7:lat=500ns"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Get(c.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := e.Run(Options{Quick: true, Jobs: 1, Faults: c.faults})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.Run(Options{Quick: true, Jobs: 8, Faults: c.faults})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := serial.String(), parallel.String(); s != p {
+				t.Fatalf("jobs=1 and jobs=8 disagree under faults:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", s, p)
+			}
+		})
+	}
+}
+
 // TestSweepErrorDeterminism: when a sweep point fails, the error that
 // surfaces is the first one in submission order, independent of worker
 // count and completion order.
@@ -48,9 +88,12 @@ func TestSweepErrorDeterminism(t *testing.T) {
 	// Ranks=0 is invalid for every point: all jobs fail, and the reported
 	// error must be the first submitted point (Elan-4, first ppn/nodes).
 	for _, jobs := range []int{1, 8} {
-		_, err := runSeries(Options{Jobs: jobs}, nil, nil, nil, nil)
+		_, fails, err := runSeries(Options{Jobs: jobs}, nil, nil, nil, nil)
 		if err != nil {
 			t.Fatalf("empty sweep must not fail, got %v", err)
+		}
+		if len(fails) != 0 {
+			t.Fatalf("empty sweep reported failures: %v", fails)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/microbench"
 	"repro/internal/mpi"
 	"repro/internal/platform"
 	"repro/internal/report"
@@ -49,11 +50,25 @@ type Options struct {
 	// if tracing is enabled each machine contributes a labelled timeline
 	// track. Nil disables all recording; results are identical either way.
 	Metrics *metrics.Registry
+	// Faults, when non-empty, installs the same fault plan on every
+	// machine the experiment builds (internal/fault spec language or
+	// "storm:<seed>"). Faulty runs are exactly as deterministic as clean
+	// ones: same spec + seed => byte-identical output at any Jobs.
+	Faults string
+	// Retries re-runs sweep points that panic or time out up to this many
+	// additional times before recording the failure (see runner.Pool).
+	Retries int
 }
 
 // pool builds the parallel runner every sweep in this package executes on.
 func (o Options) pool(name string) *runner.Pool {
-	return &runner.Pool{Workers: o.Jobs, Timeout: o.Timeout, Progress: o.Progress, Name: name}
+	return &runner.Pool{Workers: o.Jobs, Timeout: o.Timeout, Progress: o.Progress,
+		Name: name, Retries: o.Retries}
+}
+
+// env packages the per-machine environment for microbench calls.
+func (o Options) env() microbench.Env {
+	return microbench.Env{Metrics: o.Metrics, Faults: o.Faults}
 }
 
 // Result is an experiment's output.
@@ -62,6 +77,10 @@ type Result struct {
 	Title  string
 	Tables []*report.Table
 	Notes  []string
+	// Failures lists sweep points that failed after retries. The series
+	// still completes — affected table cells read 0 — and the artifact
+	// records the provenance.
+	Failures []runner.Failure
 }
 
 // String renders the result as text.
@@ -127,7 +146,7 @@ type seriesKey struct {
 }
 
 func runSeries(o Options, nets []platform.Network, nodeCounts []int, ppns []int,
-	app func(r *mpi.Rank)) (map[seriesKey]float64, error) {
+	app func(r *mpi.Rank)) (map[seriesKey]float64, []runner.Failure, error) {
 	var keys []seriesKey
 	for _, net := range nets {
 		for _, ppn := range ppns {
@@ -137,33 +156,50 @@ func runSeries(o Options, nets []platform.Network, nodeCounts []int, ppns []int,
 		}
 	}
 	// Every point builds its own machine (private event engine, private
-	// RNG streams), so the grid is embarrassingly parallel; runner.Map
-	// assembles values in key order, keeping output independent of o.Jobs.
-	times, err := runner.Map(context.Background(), o.pool("series"), keys,
-		func(_ int, k seriesKey) string {
-			return fmt.Sprintf("%s ppn=%d nodes=%d", k.net.Short(), k.ppn, k.nodes)
-		},
-		func(_ context.Context, k seriesKey) (float64, error) {
-			m, err := platform.New(platform.Options{Network: k.net, Ranks: k.nodes * k.ppn, PPN: k.ppn,
-				Metrics: o.Metrics,
-				Label:   fmt.Sprintf("%s ppn=%d nodes=%d", k.net.Short(), k.ppn, k.nodes)})
-			if err != nil {
-				return 0, fmt.Errorf("%v nodes=%d ppn=%d: %w", k.net, k.nodes, k.ppn, err)
-			}
-			res, err := m.Run(app)
-			if err != nil {
-				return 0, fmt.Errorf("%v nodes=%d ppn=%d: %w", k.net, k.nodes, k.ppn, err)
-			}
-			return res.Elapsed.Seconds(), nil
-		})
-	if err != nil {
-		return nil, err
+	// RNG streams), so the grid is embarrassingly parallel; results are
+	// assembled in key order, keeping output independent of o.Jobs. A
+	// point that fails (even after retries) does not abort the series: its
+	// cell stays 0 and the failure is recorded with its provenance.
+	jobs := make([]runner.Job, len(keys))
+	for i, k := range keys {
+		k := k
+		id := fmt.Sprintf("%s ppn=%d nodes=%d", k.net.Short(), k.ppn, k.nodes)
+		jobs[i] = runner.Job{ID: id,
+			Labels: map[string]string{"net": k.net.Short(),
+				"ppn": fmt.Sprint(k.ppn), "nodes": fmt.Sprint(k.nodes)},
+			Run: func(_ context.Context) (interface{}, error) {
+				m, err := platform.New(platform.Options{Network: k.net, Ranks: k.nodes * k.ppn, PPN: k.ppn,
+					Metrics: o.Metrics, FaultSpec: o.Faults,
+					Label: id})
+				if err != nil {
+					return nil, fmt.Errorf("%v nodes=%d ppn=%d: %w", k.net, k.nodes, k.ppn, err)
+				}
+				res, err := m.Run(app)
+				if err != nil {
+					return nil, fmt.Errorf("%v nodes=%d ppn=%d: %w", k.net, k.nodes, k.ppn, err)
+				}
+				return res.Elapsed.Seconds(), nil
+			}}
 	}
+	results := o.pool("series").Run(context.Background(), jobs)
 	out := make(map[seriesKey]float64, len(keys))
 	for i, k := range keys {
-		out[k] = times[i]
+		if results[i].Err == nil {
+			out[k] = results[i].Value.(float64)
+		}
 	}
-	return out, nil
+	return out, runner.Failures(results), nil
+}
+
+// attachFailures folds sweep failures into an experiment result: the
+// Failures field rides into the JSON artifact, and each failure also
+// becomes a note so text output carries the same provenance.
+func attachFailures(res *Result, fails []runner.Failure) {
+	res.Failures = append(res.Failures, fails...)
+	for _, f := range fails {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("point %q failed after %d attempt(s): %s", f.Job, f.Attempts, f.Cause))
+	}
 }
 
 // seriesLabel names one curve the way the paper's legends do.

@@ -57,7 +57,7 @@ func runFig1a(o Options) (*Result, error) {
 	pp, err := runner.Map(context.Background(), o.pool("fig1a"), platform.Networks,
 		func(_ int, net platform.Network) string { return "pingpong " + net.Short() },
 		func(_ context.Context, net platform.Network) ([]microbench.PingPongPoint, error) {
-			return microbench.PingPong(net, sizes, iters, o.Metrics)
+			return microbench.PingPong(net, sizes, iters, o.env())
 		})
 	if err != nil {
 		return nil, err
@@ -90,16 +90,16 @@ func runFig1b(o Options) (*Result, error) {
 	// them as one parallel batch and pull typed values back by index.
 	jobs := []runner.Job{
 		{ID: "pingpong Elan4", Run: func(context.Context) (interface{}, error) {
-			return microbench.PingPong(platform.QuadricsElan4, sizes, iters, o.Metrics)
+			return microbench.PingPong(platform.QuadricsElan4, sizes, iters, o.env())
 		}},
 		{ID: "pingpong IB", Run: func(context.Context) (interface{}, error) {
-			return microbench.PingPong(platform.InfiniBand4X, sizes, iters, o.Metrics)
+			return microbench.PingPong(platform.InfiniBand4X, sizes, iters, o.env())
 		}},
 		{ID: "streaming Elan4", Run: func(context.Context) (interface{}, error) {
-			return microbench.Streaming(platform.QuadricsElan4, ssizes, window, witers, o.Metrics)
+			return microbench.Streaming(platform.QuadricsElan4, ssizes, window, witers, o.env())
 		}},
 		{ID: "streaming IB", Run: func(context.Context) (interface{}, error) {
-			return microbench.Streaming(platform.InfiniBand4X, ssizes, window, witers, o.Metrics)
+			return microbench.Streaming(platform.InfiniBand4X, ssizes, window, witers, o.env())
 		}},
 	}
 	rs := o.pool("fig1b").Run(context.Background(), jobs)
@@ -163,7 +163,7 @@ func runFig1d(o Options) (*Result, error) {
 	vals, err := runner.Map(context.Background(), o.pool("fig1d"), cfgs,
 		func(_ int, c beffCfg) string { return fmt.Sprintf("b_eff %s procs=%d", c.net.Short(), c.procs) },
 		func(_ context.Context, c beffCfg) (*microbench.BEffResult, error) {
-			return microbench.BEff(c.net, c.procs, iters, CanonicalSeed, o.Metrics)
+			return microbench.BEff(c.net, c.procs, iters, CanonicalSeed, o.env())
 		})
 	if err != nil {
 		return nil, err

@@ -32,7 +32,8 @@ func runXRoute(o Options) (*Result, error) {
 	}
 
 	measure := func(net platform.Network, forceAdaptive bool, nodes int) (float64, error) {
-		opts := platform.Options{Network: net, Ranks: nodes, PPN: 1}
+		opts := platform.Options{Network: net, Ranks: nodes, PPN: 1,
+			Metrics: o.Metrics, FaultSpec: o.Faults}
 		if forceAdaptive {
 			opts.TuneFabric = func(p *fabric.Params) { p.Adaptive = true }
 		}

@@ -35,12 +35,13 @@ func lammpsSteps(quick bool) int {
 // the paper's two panels: execution time (per step) and scaled efficiency.
 func runLammps(id, title string, params lammps.Params, o Options) (*Result, error) {
 	nodes := lammpsNodes(o.Quick)
-	times, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
+	times, fails, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
 		func(r *mpi.Rank) { lammps.Run(r, params) })
 	if err != nil {
 		return nil, err
 	}
 	r := &Result{ID: id, Title: title}
+	attachFailures(r, fails)
 	tt := newTable(title+" — time (s)", append([]string{"nodes"}, seriesHeaders()...)...)
 	te := newTable(title+" — scaled efficiency (%)", append([]string{"nodes"}, seriesHeaders()...)...)
 	eff := report.Efficiency{Scaled: true}
@@ -106,10 +107,16 @@ func runFig3(o Options) (*Result, error) {
 func membraneFits(o Options) (map[string]*extrapolate.Fit, []int, error) {
 	nodes := lammpsNodes(o.Quick)
 	params := lammps.Membrane(lammpsSteps(o.Quick))
-	times, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
+	times, fails, err := runSeries(o, platform.Networks, nodes, []int{1, 2},
 		func(r *mpi.Rank) { lammps.Run(r, params) })
 	if err != nil {
 		return nil, nil, err
+	}
+	if len(fails) > 0 {
+		// A trend fit cannot tolerate missing points the way a table can.
+		f := fails[0]
+		return nil, nil, fmt.Errorf("experiments: point %q failed after %d attempt(s): %s",
+			f.Job, f.Attempts, f.Cause)
 	}
 	fits := map[string]*extrapolate.Fit{}
 	for _, net := range platform.Networks {
@@ -176,12 +183,13 @@ func runXScale(o Options) (*Result, error) {
 		big = []int{8, 16}
 	}
 	params := lammps.Membrane(lammpsSteps(o.Quick))
-	times, err := runSeries(o, platform.Networks, big, []int{1},
+	times, fails, err := runSeries(o, platform.Networks, big, []int{1},
 		func(r *mpi.Rank) { lammps.Run(r, params) })
 	if err != nil {
 		return nil, err
 	}
 	r := &Result{ID: "xscale", Title: "Direct simulation at scale vs the small-system trend fit (1 PPN)"}
+	attachFailures(r, fails)
 	t := newTable("Extension X-1", "nodes", "Elan4 sim (s)", "Elan4 fit (s)", "IB sim (s)", "IB fit (s)")
 	for _, n := range big {
 		t.AddRow(n,

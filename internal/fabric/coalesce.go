@@ -63,6 +63,7 @@ package fabric
 // results — and the randomized storm tests bound the risk elsewhere.
 
 import (
+	"repro/internal/topology"
 	"repro/internal/units"
 )
 
@@ -133,6 +134,19 @@ func (f *Fabric) expandTouching(pt *path) {
 		}
 		i++
 	}
+}
+
+// usesLink reports whether the window's path traverses the given link.
+// Adaptive spine-crossing paths never coalesce, so the fixed stage list is
+// the complete truth.
+func (w *window) usesLink(id topology.LinkID) bool {
+	wp := &w.ms.pt
+	for i := 0; i < wp.n; i++ {
+		if wp.stages[i].link == id {
+			return true
+		}
+	}
+	return false
 }
 
 func (w *window) overlaps(pt *path) bool {

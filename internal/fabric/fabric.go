@@ -33,6 +33,7 @@ import (
 	"strconv"
 
 	"repro/internal/metrics"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/units"
@@ -61,6 +62,17 @@ type Params struct {
 	// Adaptive selects least-loaded-uplink routing instead of
 	// deterministic destination routing.
 	Adaptive bool
+	// HWRetry selects link-level hardware recovery under fault injection
+	// (the QsNetII model): corrupted chunks are retried on the same hop
+	// after HWRetryDelay and chunks at down links stall until recovery,
+	// all invisibly to the host. Without it (the InfiniBand model) an
+	// affected chunk kills its message and recovery belongs to the
+	// transport's retransmission machinery. Irrelevant until EnableFaults.
+	HWRetry bool
+	// HWRetryDelay is the link-level retry/poll interval; must be positive
+	// when HWRetry is set (a zero delay would retry a down link in an
+	// infinite same-instant event loop).
+	HWRetryDelay units.Duration
 }
 
 // Validate reports configuration errors.
@@ -76,6 +88,9 @@ func (p *Params) Validate() error {
 	}
 	if p.HostBandwidth < 0 {
 		return fmt.Errorf("fabric: negative host bandwidth")
+	}
+	if p.HWRetry && p.HWRetryDelay <= 0 {
+		return fmt.Errorf("fabric: HWRetry requires a positive HWRetryDelay")
 	}
 	return nil
 }
@@ -116,13 +131,31 @@ type Fabric struct {
 	freeMsgs   []*msgState
 	freeWins   []*window
 
+	// Fault injection (see fault.go). faults is nil until EnableFaults;
+	// every hot-path fault check is gated on that nil test so clean runs
+	// pay one predictable branch.
+	faults    []LinkFault   // indexed by topology.LinkID
+	lossRNG   []*rng.Source // per-link loss streams, seeded from faultSeed
+	faultSeed uint64
+
+	chunksLost      uint64
+	chunksRetried   uint64
+	chunksRerouted  uint64
+	messagesDropped uint64
+	faultWindows    uint64
+
 	// Observability (nil-safe no-ops when the engine has no registry).
-	mMsgs     *metrics.Counter
-	mBytes    *metrics.Counter
-	mChunks   *metrics.Counter
-	hWait     *metrics.Histogram // per-chunk link queueing delay, ns
-	track     *metrics.Track
-	linkBytes []units.Bytes // payload bytes per link; nil when no registry
+	mMsgs        *metrics.Counter
+	mBytes       *metrics.Counter
+	mChunks      *metrics.Counter
+	mLost        *metrics.Counter
+	mRetried     *metrics.Counter
+	mRerouted    *metrics.Counter
+	mMsgsDropped *metrics.Counter
+	mFaultWin    *metrics.Counter
+	hWait        *metrics.Histogram // per-chunk link queueing delay, ns
+	track        *metrics.Track
+	linkBytes    []units.Bytes // payload bytes per link; nil when no registry
 }
 
 // New builds a fabric over nodes endpoints using chassis of the given radix.
@@ -152,6 +185,11 @@ func New(eng *sim.Engine, nodes, radix int, params Params) (*Fabric, error) {
 		f.mMsgs = reg.Counter("fabric.messages")
 		f.mBytes = reg.Counter("fabric.bytes")
 		f.mChunks = reg.Counter("fabric.chunks")
+		f.mLost = reg.Counter("fabric.chunks_lost")
+		f.mRetried = reg.Counter("fabric.chunks_hw_retried")
+		f.mRerouted = reg.Counter("fabric.chunks_rerouted")
+		f.mMsgsDropped = reg.Counter("fabric.messages_dropped")
+		f.mFaultWin = reg.Counter("fabric.fault_windows")
 		f.hWait = reg.Histogram("fabric.chunk_queue_wait_ns")
 		f.linkBytes = make([]units.Bytes, clos.NumLinks())
 		f.track = eng.TraceTrack()
@@ -346,6 +384,10 @@ type msgState struct {
 	pt        path
 	remaining int
 	done      *sim.Signal
+	// aborted marks a message killed by an unrecovered fault (see
+	// dropMessage): its remaining chunks still drain through the fabric,
+	// but done never fires.
+	aborted bool
 }
 
 func (f *Fabric) getMsg() *msgState {
@@ -368,9 +410,13 @@ func (ms *msgState) chunkDelivered() {
 	f := ms.f
 	f.releaseRefs(&ms.pt)
 	done := ms.done
+	aborted := ms.aborted
 	ms.done = nil
+	ms.aborted = false
 	f.freeMsgs = append(f.freeMsgs, ms)
-	done.Fire()
+	if !aborted {
+		done.Fire()
+	}
 }
 
 // chunkState carries one in-flight chunk through its path. It is pooled,
@@ -424,7 +470,11 @@ func (cs *chunkState) step() {
 	pt := &cs.ms.pt
 	i := cs.i
 	if f.params.Adaptive && i == pt.upIdx && cs.upSrv == nil {
-		spine := f.leastLoadedSpine(pt.srcLeaf)
+		spine, rerouted := f.chooseSpine(pt.srcLeaf, pt.dstLeaf)
+		if rerouted {
+			f.chunksRerouted++
+			f.mRerouted.Inc()
+		}
 		cs.upLink = f.clos.Up(pt.srcLeaf, spine)
 		cs.downLink = f.clos.Down(spine, pt.dstLeaf)
 		cs.upSrv = f.links[cs.upLink]
@@ -439,6 +489,31 @@ func (cs *chunkState) step() {
 			srv, link = cs.downSrv, cs.downLink
 		}
 	}
+	var lf *LinkFault
+	if f.faults != nil && link >= 0 {
+		if x := &f.faults[link]; x.Active() {
+			lf = x
+		}
+	}
+	if lf != nil && lf.Down {
+		if f.params.HWRetry {
+			// Link-level stall: retry every HWRetryDelay until the link
+			// recovers — or, at the uplink stage, until the next attempt's
+			// adaptive choice finds a live spine.
+			f.chunksRetried++
+			f.mRetried.Inc()
+			if i == pt.upIdx {
+				cs.upSrv, cs.downSrv = nil, nil
+			}
+			cs.ready = cs.ready.Add(f.params.HWRetryDelay)
+			f.eng.At(cs.ready, cs.stepFn)
+			return
+		}
+		f.chunksLost++
+		f.mLost.Inc()
+		f.dropMessage(cs)
+		return
+	}
 	if f.linkBytes != nil && link >= 0 {
 		f.linkBytes[link] += cs.size
 		if wait := srv.BusyUntil().Sub(cs.ready); wait > 0 {
@@ -448,7 +523,34 @@ func (cs *chunkState) step() {
 		}
 	}
 	ser := st.rate.TimeFor(cs.size + f.params.PacketOverhead)
-	out := srv.ServeAt(cs.ready, ser).Add(st.lat)
+	lat := st.lat
+	if lf != nil {
+		if lf.BandwidthScale > 0 && lf.BandwidthScale != 1 {
+			ser = ser.Scale(1 / lf.BandwidthScale)
+		}
+		lat += lf.ExtraLatency
+	}
+	out := srv.ServeAt(cs.ready, ser).Add(lat)
+	if lf != nil && lf.LossProb > 0 && f.lossRNG[link].Float64() < lf.LossProb {
+		// The chunk serialized (the link time is spent) but arrived
+		// corrupt. Hardware-retry fabrics resend it on this hop after the
+		// retry delay; otherwise the loss kills the message and recovery
+		// is the transport's business.
+		f.chunksLost++
+		f.mLost.Inc()
+		if f.params.HWRetry {
+			f.chunksRetried++
+			f.mRetried.Inc()
+			if i == pt.upIdx {
+				cs.upSrv, cs.downSrv = nil, nil
+			}
+			cs.ready = out.Add(f.params.HWRetryDelay)
+			f.eng.At(cs.ready, cs.stepFn)
+			return
+		}
+		f.dropMessage(cs)
+		return
+	}
 	if i < pt.n-1 {
 		cs.i = i + 1
 		cs.ready = out
@@ -504,6 +606,7 @@ func (f *Fabric) Send(src, dst int, size units.Bytes) *sim.Signal {
 
 	ms := f.getMsg()
 	ms.done = done
+	ms.aborted = false
 	f.fillPath(&ms.pt, src, dst)
 	n, last := f.chunkPlan(size)
 	f.mChunks.Add(uint64(n))
@@ -517,6 +620,7 @@ func (f *Fabric) Send(src, dst int, size units.Bytes) *sim.Signal {
 
 	if f.coalesce && f.linkBytes == nil && f.track == nil &&
 		(!f.params.Adaptive || ms.pt.upIdx < 0) &&
+		!f.pathFaulted(&ms.pt) &&
 		f.tryCoalesce(ms, n, last) {
 		return done
 	}

@@ -1,0 +1,370 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// twoLevel is the spine-sweep topology: 8 nodes on radix-4 chassis gives
+// 4 leaves and 2 spines.
+func twoLevel(t *testing.T) *topology.Clos {
+	t.Helper()
+	c, err := topology.NewClos(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func singleLevel(t *testing.T) *topology.Clos {
+	t.Helper()
+	c, err := topology.NewClos(4, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompileClauses(t *testing.T) {
+	clos := twoLevel(t)
+	cases := []struct {
+		spec   string
+		events int
+		check  func(t *testing.T, p *Plan)
+	}{
+		{"loss:inj(0):p=0.01", 1, func(t *testing.T, p *Plan) {
+			e := p.Events[0]
+			if e.Link != clos.Injection(0) || e.Fault.LossProb != 0.01 {
+				t.Fatalf("event = %+v", e)
+			}
+			if e.At != 0 || e.For != 0 {
+				t.Fatalf("default window not [0,forever): %+v", e)
+			}
+		}},
+		{"loss:ej(3)", 1, func(t *testing.T, p *Plan) {
+			e := p.Events[0]
+			if e.Link != clos.Ejection(3) || e.Fault.LossProb != 0.001 {
+				t.Fatalf("default loss p: %+v", e)
+			}
+		}},
+		{"degrade:link(0):bw=0.25:lat=1us", 1, func(t *testing.T, p *Plan) {
+			lf := p.Events[0].Fault
+			if lf.BandwidthScale != 0.25 || lf.ExtraLatency != units.Microsecond {
+				t.Fatalf("fault = %+v", lf)
+			}
+		}},
+		{"degrade:inj(1)", 1, func(t *testing.T, p *Plan) {
+			if bw := p.Events[0].Fault.BandwidthScale; bw != 0.5 {
+				t.Fatalf("default degrade bw = %v", bw)
+			}
+		}},
+		{"down:spine(0):at=20us:for=200us", 2 * clos.Leaves, func(t *testing.T, p *Plan) {
+			for _, e := range p.Events {
+				if !e.Fault.Down || e.At != units.Time(20*units.Microsecond) ||
+					e.For != 200*units.Microsecond {
+					t.Fatalf("event = %+v", e)
+				}
+			}
+		}},
+		{"down:up(1,0)", 1, func(t *testing.T, p *Plan) {
+			if p.Events[0].Link != clos.Up(1, 0) {
+				t.Fatalf("link = %v want %v", p.Events[0].Link, clos.Up(1, 0))
+			}
+		}},
+		{"down:down(1,2)", 1, func(t *testing.T, p *Plan) {
+			if p.Events[0].Link != clos.Down(1, 2) {
+				t.Fatalf("link = %v want %v", p.Events[0].Link, clos.Down(1, 2))
+			}
+		}},
+		{"loss:all:p=0.5:seed=42", clos.NumLinks(), func(t *testing.T, p *Plan) {
+			if p.Seed != 42 {
+				t.Fatalf("seed = %d", p.Seed)
+			}
+		}},
+		{"down:inj(0):at=1ms; loss:inj(1):p=0.1", 2, func(t *testing.T, p *Plan) {
+			if p.Seed != 1 {
+				t.Fatalf("default seed = %d", p.Seed)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			p, err := Compile(c.spec, clos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Events) != c.events {
+				t.Fatalf("got %d events, want %d", len(p.Events), c.events)
+			}
+			c.check(t, p)
+		})
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	clos2 := twoLevel(t)
+	clos1 := singleLevel(t)
+	cases := []struct {
+		spec string
+		clos *topology.Clos
+		want string // substring of the error
+	}{
+		{"", clos2, "empty spec"},
+		{"   ", clos2, "empty spec"},
+		{"storm:abc", clos2, "bad storm seed"},
+		{"flood:all", clos2, "unknown kind"},
+		{"down", clos2, "needs kind:selector"},
+		{"down:nowhere", clos2, "unknown selector"},
+		{"down:spine(5)", clos2, "spine out of range"},
+		{"down:spine(0)", clos1, "spine out of range"}, // no spines at all
+		{"down:inj(99)", clos2, "node out of range"},
+		{"down:link(-1)", clos2, "link out of range"},
+		{"down:up(0)", clos2, "want 2 index"},
+		{"loss:all:p=1.5", clos2, "not in [0,1]"},
+		{"degrade:all:bw=0", clos2, "not in (0,1]"},
+		{"down:all:p=0.1", clos2, "p= only applies to loss"},
+		{"loss:all:bw=0.5", clos2, "bw= only applies to degrade"},
+		{"down:all:at=10", clos2, "needs a unit"},
+		{"down:all:at=-5us", clos2, "bad duration"},
+		{"down:all:wat=1", clos2, "unknown parameter"},
+		{"down:all:at10us", clos2, "not key=value"},
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			_, err := Compile(c.spec, c.clos)
+			if err == nil {
+				t.Fatalf("Compile(%q) succeeded", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseDur(t *testing.T) {
+	cases := []struct {
+		in   string
+		want units.Duration
+	}{
+		{"1ps", units.Picosecond},
+		{"50ns", 50 * units.Nanosecond}, // "ns" must win over "s"
+		{"1.5us", 1500 * units.Nanosecond},
+		{"200us", 200 * units.Microsecond},
+		{"2ms", 2 * units.Millisecond},
+		{"1s", units.Second},
+		{"0us", 0},
+	}
+	for _, c := range cases {
+		got, err := parseDur(c.in)
+		if err != nil {
+			t.Fatalf("parseDur(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("parseDur(%q) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCompose pins the overlap semantics: Down ORs, deratings multiply,
+// latencies add, independent losses combine, and windows are half-open.
+func TestCompose(t *testing.T) {
+	us := func(n float64) units.Time { return units.Time(n * float64(units.Microsecond)) }
+	evs := []*Event{
+		{At: us(0), For: 10 * units.Microsecond,
+			Fault: fabric.LinkFault{BandwidthScale: 0.5, ExtraLatency: units.Microsecond, LossProb: 0.5}},
+		{At: us(5), For: 10 * units.Microsecond,
+			Fault: fabric.LinkFault{BandwidthScale: 0.5, ExtraLatency: units.Microsecond, LossProb: 0.5}},
+		{At: us(20), Fault: fabric.LinkFault{Down: true}}, // For=0: permanent
+	}
+	if lf := compose(evs, us(2)); lf.BandwidthScale != 0.5 || lf.LossProb != 0.5 ||
+		lf.ExtraLatency != units.Microsecond || lf.Down {
+		t.Fatalf("one window active: %+v", lf)
+	}
+	if lf := compose(evs, us(7)); lf.BandwidthScale != 0.25 || lf.LossProb != 0.75 ||
+		lf.ExtraLatency != 2*units.Microsecond {
+		t.Fatalf("overlap: %+v", lf)
+	}
+	// Half-open: at t=10us the first window has just closed.
+	if lf := compose(evs, us(10)); lf.BandwidthScale != 0.5 {
+		t.Fatalf("half-open end: %+v", lf)
+	}
+	if lf := compose(evs, us(17)); lf.Active() {
+		t.Fatalf("gap should be healthy: %+v", lf)
+	}
+	if lf := compose(evs, us(1000)); !lf.Down {
+		t.Fatalf("permanent window should still hold: %+v", lf)
+	}
+	// Healthy composition must be the exact zero value, so SetLinkFault
+	// treats it as a clear.
+	if lf := compose(evs, us(15)); lf != (fabric.LinkFault{}) {
+		t.Fatalf("healthy instant composes to %+v, want zero value", lf)
+	}
+}
+
+func TestRandomDeterministicAndInBounds(t *testing.T) {
+	clos := twoLevel(t)
+	a, b := Random(2026, clos), Random(2026, clos)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different storm plans")
+	}
+	if reflect.DeepEqual(a, Random(2027, clos)) {
+		t.Fatal("different seeds produced identical storm plans")
+	}
+	for seed := uint64(1); seed <= 50; seed++ {
+		p := Random(seed, clos)
+		if len(p.Events) == 0 {
+			t.Fatalf("seed %d: empty storm", seed)
+		}
+		for i, e := range p.Events {
+			if e.Link < 0 || int(e.Link) >= clos.NumLinks() {
+				t.Fatalf("seed %d event %d: link %d out of bounds", seed, i, e.Link)
+			}
+			if e.At < 0 || e.For <= 0 {
+				t.Fatalf("seed %d event %d: bad window [%v,+%v)", seed, i, e.At, e.For)
+			}
+			if !e.Fault.Active() {
+				t.Fatalf("seed %d event %d: inactive fault", seed, i)
+			}
+		}
+	}
+}
+
+func TestCompileStormForms(t *testing.T) {
+	clos := twoLevel(t)
+	p1, err := Compile("storm:7", clos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile("7", clos) // bare integer shorthand
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("storm:7 and bare 7 differ")
+	}
+	if !reflect.DeepEqual(p1, Random(7, clos)) {
+		t.Fatal("Compile(storm:7) differs from Random(7)")
+	}
+}
+
+func testFabric(t *testing.T, eng *sim.Engine, nodes, radix int) *fabric.Fabric {
+	t.Helper()
+	f, err := fabric.New(eng, nodes, radix, fabric.Params{
+		LinkBandwidth:  1000 * units.MBps,
+		WireLatency:    50 * units.Nanosecond,
+		ChassisLatency: 200 * units.Nanosecond,
+		MTU:            2 * units.KiB,
+		HWRetry:        true,
+		HWRetryDelay:   500 * units.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestInstallValidates(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := testFabric(t, eng, 4, 96)
+	bad := &Plan{Seed: 1, Events: []Event{{Link: topology.LinkID(10_000), Fault: fabric.LinkFault{Down: true}}}}
+	if err := bad.Install(eng, fab); err == nil {
+		t.Fatal("out-of-topology link accepted")
+	}
+	neg := &Plan{Seed: 1, Events: []Event{{Link: 0, At: -1, Fault: fabric.LinkFault{Down: true}}}}
+	if err := neg.Install(eng, fab); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+// TestInstallAppliesWindows drives a window schedule through a live engine
+// and samples the fabric's fault state just inside and outside each
+// boundary.
+func TestInstallAppliesWindows(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := testFabric(t, eng, 4, 96)
+	link := fab.Topology().Injection(0)
+	plan := &Plan{Seed: 9, Events: []Event{
+		{Link: link, At: units.Time(10 * units.Microsecond), For: 10 * units.Microsecond,
+			Fault: fabric.LinkFault{Down: true}},
+		{Link: link, At: units.Time(15 * units.Microsecond), For: 10 * units.Microsecond,
+			Fault: fabric.LinkFault{BandwidthScale: 0.5}},
+	}}
+	if err := plan.Install(eng, fab); err != nil {
+		t.Fatal(err)
+	}
+	if !fab.FaultsEnabled() {
+		t.Fatal("Install did not enable fault injection")
+	}
+	sample := func(atUS float64, want fabric.LinkFault) {
+		eng.At(units.Time(atUS*float64(units.Microsecond)), func() {
+			if got := fab.LinkFaultState(link); got != want {
+				t.Errorf("at %vus: fault = %+v, want %+v", atUS, got, want)
+			}
+		})
+	}
+	sample(5, fabric.LinkFault{})
+	sample(12, fabric.LinkFault{Down: true})
+	sample(17, fabric.LinkFault{Down: true, BandwidthScale: 0.5})
+	sample(22, fabric.LinkFault{BandwidthScale: 0.5}) // down window closed at 20us
+	sample(30, fabric.LinkFault{})                    // all clear at 25us
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstallDeterministic runs the same storm plan over the same traffic
+// twice and demands bit-identical delivery times and fault totals.
+func TestInstallDeterministic(t *testing.T) {
+	run := func() ([]units.Time, fabric.FaultStats) {
+		eng := sim.NewEngine()
+		fab := testFabric(t, eng, 8, 4)
+		if err := InstallSpec("storm:2026", eng, fab); err != nil {
+			t.Fatal(err)
+		}
+		var fired []units.Time
+		pairs := [][2]int{{0, 5}, {3, 1}, {6, 2}, {7, 0}}
+		for i, pr := range pairs {
+			slot := len(fired)
+			fired = append(fired, 0)
+			at := units.Time(i) * units.Time(5*units.Microsecond)
+			pr := pr
+			eng.At(at, func() {
+				fab.Send(pr[0], pr[1], 64*units.KiB).OnFire(func() {
+					fired[slot] = eng.Now()
+				})
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fired, fab.FaultStats()
+	}
+	f1, s1 := run()
+	f2, s2 := run()
+	if !reflect.DeepEqual(f1, f2) || s1 != s2 {
+		t.Fatalf("storm runs diverged: %v/%v vs %v/%v", f1, s1, f2, s2)
+	}
+	for i, at := range f1 {
+		if at == 0 {
+			t.Fatalf("message %d never delivered under storm (HWRetry fabric must recover)", i)
+		}
+	}
+}
+
+func TestInstallSpecBlankIsNoOp(t *testing.T) {
+	eng := sim.NewEngine()
+	fab := testFabric(t, eng, 4, 96)
+	if err := InstallSpec("", eng, fab); err != nil {
+		t.Fatal(err)
+	}
+	if fab.FaultsEnabled() {
+		t.Fatal("blank spec enabled fault injection")
+	}
+}

@@ -1,0 +1,315 @@
+package fault
+
+// The -faults spec language. A spec is either a storm seed or a
+// semicolon-separated list of clauses:
+//
+//	spec    := "storm:" seed | seed | clause (";" clause)*
+//	clause  := kind ":" selector (":" param)*
+//	kind    := "down" | "loss" | "degrade"
+//	selector:= "all" | "spine(s)" | "inj(n)" | "ej(n)"
+//	         | "up(l,s)" | "down(s,l)" | "link(k)"
+//	param   := "at=" dur | "for=" dur | "p=" float
+//	         | "bw=" float | "lat=" dur | "seed=" int
+//	dur     := float ("ps"|"ns"|"us"|"ms"|"s")
+//
+// Examples:
+//
+//	loss:all:p=0.001                     every link loses 0.1% of chunks
+//	down:spine(0):at=10us:for=200us      spine 0 offline for a window
+//	degrade:inj(3):bw=0.5:lat=1us        node 3's injection link derated
+//	storm:2026                           randomized storm, seed 2026
+//
+// A bare integer is shorthand for storm:<integer>. Defaults: loss p=0.001,
+// degrade bw=0.5, at=0, for=0 (rest of run). A "seed=" param on any clause
+// sets the plan seed feeding the per-link loss streams (default 1).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fabric"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// Compile parses a fault spec against a concrete topology and returns the
+// plan it denotes. Selectors are resolved immediately, so an out-of-range
+// selector (e.g. spine(3) on a 2-spine Clos) is a compile error.
+func Compile(spec string, clos *topology.Clos) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	if seedStr, ok := strings.CutPrefix(spec, "storm:"); ok {
+		seed, err := strconv.ParseUint(strings.TrimSpace(seedStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad storm seed %q", seedStr)
+		}
+		return Random(seed, clos), nil
+	}
+	if seed, err := strconv.ParseUint(spec, 10, 64); err == nil {
+		return Random(seed, clos), nil
+	}
+	p := &Plan{Seed: 1}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if err := parseClause(p, clause, clos); err != nil {
+			return nil, err
+		}
+	}
+	if len(p.Events) == 0 {
+		return nil, fmt.Errorf("fault: spec %q selects no links", spec)
+	}
+	return p, nil
+}
+
+func parseClause(p *Plan, clause string, clos *topology.Clos) error {
+	parts := strings.Split(clause, ":")
+	if len(parts) < 2 {
+		return fmt.Errorf("fault: clause %q needs kind:selector", clause)
+	}
+	kind := strings.TrimSpace(parts[0])
+	links, err := parseSelector(strings.TrimSpace(parts[1]), clos)
+	if err != nil {
+		return fmt.Errorf("fault: clause %q: %w", clause, err)
+	}
+
+	var (
+		at          units.Time
+		dur         units.Duration
+		lf          fabric.LinkFault
+		pSet, bwSet bool
+	)
+	switch kind {
+	case "down":
+		lf.Down = true
+	case "loss":
+		lf.LossProb = 0.001
+	case "degrade":
+		lf.BandwidthScale = 0.5
+	default:
+		return fmt.Errorf("fault: clause %q: unknown kind %q (want down|loss|degrade)", clause, kind)
+	}
+	for _, param := range parts[2:] {
+		param = strings.TrimSpace(param)
+		key, val, ok := strings.Cut(param, "=")
+		if !ok {
+			return fmt.Errorf("fault: clause %q: parameter %q is not key=value", clause, param)
+		}
+		switch key {
+		case "at":
+			t, err := parseDur(val)
+			if err != nil {
+				return fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			at = units.Time(t)
+		case "for":
+			d, err := parseDur(val)
+			if err != nil {
+				return fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			dur = d
+		case "p":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return fmt.Errorf("fault: clause %q: loss probability %q not in [0,1]", clause, val)
+			}
+			lf.LossProb, pSet = f, true
+		case "bw":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 || f > 1 {
+				return fmt.Errorf("fault: clause %q: bandwidth scale %q not in (0,1]", clause, val)
+			}
+			lf.BandwidthScale, bwSet = f, true
+		case "lat":
+			d, err := parseDur(val)
+			if err != nil {
+				return fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			lf.ExtraLatency = d
+		case "seed":
+			s, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("fault: clause %q: bad seed %q", clause, val)
+			}
+			p.Seed = s
+		default:
+			return fmt.Errorf("fault: clause %q: unknown parameter %q", clause, key)
+		}
+	}
+	if pSet && kind != "loss" {
+		return fmt.Errorf("fault: clause %q: p= only applies to loss", clause)
+	}
+	if bwSet && kind != "degrade" {
+		return fmt.Errorf("fault: clause %q: bw= only applies to degrade", clause)
+	}
+	for _, l := range links {
+		p.Events = append(p.Events, Event{Link: l, At: at, For: dur, Fault: lf})
+	}
+	return nil
+}
+
+// parseSelector resolves one selector to concrete link ids.
+func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
+	if sel == "all" {
+		out := make([]topology.LinkID, clos.NumLinks())
+		for i := range out {
+			out[i] = topology.LinkID(i)
+		}
+		return out, nil
+	}
+	name, rest, ok := strings.Cut(sel, "(")
+	if !ok || !strings.HasSuffix(rest, ")") {
+		return nil, fmt.Errorf("unknown selector %q", sel)
+	}
+	var args []int
+	for _, a := range strings.Split(strings.TrimSuffix(rest, ")"), ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(a))
+		if err != nil {
+			return nil, fmt.Errorf("selector %q: bad index %q", sel, a)
+		}
+		args = append(args, v)
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("selector %q: want %d index(es), got %d", sel, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "inj":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		if args[0] < 0 || args[0] >= clos.Nodes {
+			return nil, fmt.Errorf("selector %q: node out of range", sel)
+		}
+		return []topology.LinkID{clos.Injection(args[0])}, nil
+	case "ej":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		if args[0] < 0 || args[0] >= clos.Nodes {
+			return nil, fmt.Errorf("selector %q: node out of range", sel)
+		}
+		return []topology.LinkID{clos.Ejection(args[0])}, nil
+	case "spine":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		if clos.Levels != 2 || args[0] < 0 || args[0] >= clos.Spines {
+			return nil, fmt.Errorf("selector %q: spine out of range (topology has %d)", sel, clos.Spines)
+		}
+		return clos.SpineLinks(args[0]), nil
+	case "up":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		if clos.Levels != 2 || args[0] < 0 || args[0] >= clos.Leaves || args[1] < 0 || args[1] >= clos.Spines {
+			return nil, fmt.Errorf("selector %q: leaf/spine out of range", sel)
+		}
+		return []topology.LinkID{clos.Up(args[0], args[1])}, nil
+	case "down":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		if clos.Levels != 2 || args[0] < 0 || args[0] >= clos.Spines || args[1] < 0 || args[1] >= clos.Leaves {
+			return nil, fmt.Errorf("selector %q: spine/leaf out of range", sel)
+		}
+		return []topology.LinkID{clos.Down(args[0], args[1])}, nil
+	case "link":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		if args[0] < 0 || args[0] >= clos.NumLinks() {
+			return nil, fmt.Errorf("selector %q: link out of range [0,%d)", sel, clos.NumLinks())
+		}
+		return []topology.LinkID{topology.LinkID(args[0])}, nil
+	default:
+		return nil, fmt.Errorf("unknown selector %q", sel)
+	}
+}
+
+// parseDur parses "200us"-style durations (ps, ns, us, ms, s).
+func parseDur(s string) (units.Duration, error) {
+	unitOf := []struct {
+		suffix string
+		unit   units.Duration
+	}{
+		// Longest suffixes first so "ns" wins over "s".
+		{"ps", units.Picosecond},
+		{"ns", units.Nanosecond},
+		{"us", units.Microsecond},
+		{"ms", units.Millisecond},
+		{"s", units.Second},
+	}
+	for _, u := range unitOf {
+		num, ok := strings.CutSuffix(s, u.suffix)
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(num, 64)
+		if err != nil || f < 0 {
+			return 0, fmt.Errorf("bad duration %q", s)
+		}
+		return units.Duration(f * float64(u.unit)), nil
+	}
+	return 0, fmt.Errorf("duration %q needs a unit (ps|ns|us|ms|s)", s)
+}
+
+// Random generates the fixed-seed storm plan behind `-faults storm:N`: a
+// deterministic function of (seed, topology) mixing bandwidth deratings,
+// loss windows, and link-down windows across link classes. Severity is
+// deliberately moderate — loss probabilities and down windows are sized so
+// IB's RC recovery visibly retransmits but does not exhaust its retry
+// budget — because `make chaos` runs storms across every experiment and
+// asserts the suite still completes.
+func Random(seed uint64, clos *topology.Clos) *Plan {
+	r := rng.New(seed)
+	p := &Plan{Seed: seed}
+	nEvents := 6 + r.Intn(6)
+	ms := func(lo, hi float64) units.Duration {
+		return units.Duration((lo + (hi-lo)*r.Float64()) * float64(units.Millisecond))
+	}
+	for i := 0; i < nEvents; i++ {
+		var link topology.LinkID
+		// Bias toward spine links when the topology has them: that is
+		// where route-around behaviour lives.
+		if clos.Levels == 2 && r.Intn(2) == 0 {
+			s := r.Intn(clos.Spines)
+			l := r.Intn(clos.Leaves)
+			if r.Intn(2) == 0 {
+				link = clos.Up(l, s)
+			} else {
+				link = clos.Down(s, l)
+			}
+		} else {
+			link = topology.LinkID(r.Intn(clos.NumLinks()))
+		}
+		ev := Event{Link: link, At: units.Time(ms(0, 40))}
+		switch r.Intn(5) {
+		case 0, 1: // derate
+			ev.For = ms(1, 50)
+			ev.Fault.BandwidthScale = 0.4 + 0.5*r.Float64()
+			ev.Fault.ExtraLatency = units.Duration(r.Intn(2000)) * units.Nanosecond
+		case 2, 3: // loss
+			// Loss windows stay well inside the IB backoff ladder
+			// (~10ms to the last retry): a window that outlasts the
+			// ladder guarantees QP exhaustion for any message big enough
+			// that one attempt rarely survives the window, since every
+			// retry re-enters the same loss regime.
+			ev.For = ms(0.5, 2.5)
+			ev.Fault.LossProb = 0.0005 + 0.0015*r.Float64()
+		default: // down window
+			ev.For = ms(0.02, 0.2)
+			ev.Fault.Down = true
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return p
+}

@@ -67,6 +67,27 @@ type Params struct {
 	// QPContextBytes approximates per-connection HCA/driver state, for
 	// memory-scaling statistics.
 	QPContextBytes units.Bytes
+
+	// Reliable-connection recovery. IB pushes loss recovery to the
+	// endpoints: the responder silently discards a bad packet and the
+	// requester retransmits the whole request when its transport timer
+	// expires — there is no link-level retry as on Quadrics. The timers
+	// below are armed only on fabrics with fault injection enabled, so
+	// fault-free runs execute an identical event stream with or without
+	// this machinery.
+
+	// RetransTimeout is the initial RC transport timeout: how long the
+	// requester waits past the transfer's expected delivery time (see
+	// reliable's size-dependent floor) before retransmitting.
+	RetransTimeout units.Duration
+	// RetransTimeoutMax caps the exponential backoff (the timeout doubles
+	// on each consecutive retry of the same request).
+	RetransTimeoutMax units.Duration
+	// MaxRetries is the retry budget per request. When it is exhausted the
+	// QP transitions to the error state and the run fails — matching real
+	// RC semantics, where the ULP sees IBV_WC_RETRY_EXC_ERR and the
+	// connection is dead.
+	MaxRetries int
 }
 
 // DefaultParams returns parameters calibrated for the paper's platform: a
@@ -90,6 +111,18 @@ func DefaultParams() Params {
 		RegCacheCap:     7 * units.MiB,
 		QPSetup:         120 * units.Microsecond,
 		QPContextBytes:  1 * units.KiB,
+
+		// 100us initial timeout — five orders of magnitude above Quadrics'
+		// link-level retry, the knee the degraded-fabric experiment
+		// measures. The cap is sized so the full ladder (~10ms to the last
+		// retransmission) comfortably outlasts worst-case host-bus
+		// congestion in the experiments: real deployments choose ACK
+		// timeouts well above any congested RTT, and a budget short enough
+		// to be beaten by ordinary queueing would turn congestion into
+		// spurious connection teardown.
+		RetransTimeout:    100 * units.Microsecond,
+		RetransTimeoutMax: 4000 * units.Microsecond,
+		MaxRetries:        7,
 	}
 }
 
@@ -119,18 +152,24 @@ func NewNetwork(eng *sim.Engine, fab *fabric.Fabric, params Params) *Network {
 	reg := eng.Metrics()
 	mSends := reg.Counter("ib.rdma_posts")
 	mRecvs := reg.Counter("ib.deliveries")
+	mRetrans := reg.Counter("ib.retransmits")
+	mTimeouts := reg.Counter("ib.timeouts")
+	mQPErrs := reg.Counter("ib.qp_errors")
 	for i := range n.hcas {
 		n.hcas[i] = &HCA{
-			net:      n,
-			eng:      eng,
-			fab:      fab,
-			node:     i,
-			params:   params,
-			engine:   eng.NewServer(fmt.Sprintf("hca%d", i)),
-			regCache: NewRegCache(params.RegCacheCap),
-			qps:      map[int]bool{},
-			mSends:   mSends,
-			mRecvs:   mRecvs,
+			net:       n,
+			eng:       eng,
+			fab:       fab,
+			node:      i,
+			params:    params,
+			engine:    eng.NewServer(fmt.Sprintf("hca%d", i)),
+			regCache:  NewRegCache(params.RegCacheCap),
+			qps:       map[int]bool{},
+			mSends:    mSends,
+			mRecvs:    mRecvs,
+			mRetrans:  mRetrans,
+			mTimeouts: mTimeouts,
+			mQPErrs:   mQPErrs,
 		}
 		n.hcas[i].regCache.SetCounters(
 			reg.Counter("ib.regcache_hits"),
@@ -184,9 +223,18 @@ type HCA struct {
 	QPMemory  units.Bytes
 	SendCount uint64
 	RecvCount uint64
+	// Retransmits counts fabric re-sends issued by this HCA's RC
+	// transport timers; Timeouts counts timer expirations (each retry is
+	// preceded by a timeout, so Timeouts >= Retransmits — the excess is
+	// retry-budget exhaustion).
+	Retransmits uint64
+	Timeouts    uint64
 
-	mSends *metrics.Counter // nil-safe; shared network-wide
-	mRecvs *metrics.Counter
+	mSends    *metrics.Counter // nil-safe; shared network-wide
+	mRecvs    *metrics.Counter
+	mRetrans  *metrics.Counter
+	mTimeouts *metrics.Counter
+	mQPErrs   *metrics.Counter
 }
 
 // Node reports the fabric endpoint this HCA serves.
@@ -238,6 +286,81 @@ func (h *HCA) Register(p *sim.Proc, key uint64, size units.Bytes) {
 	p.Sleep(h.regCache.Access(key, size, &h.params))
 }
 
+// reliable runs one RC request through the recovery state machine: send()
+// issues the wire transfer and returns its delivery signal; deliver runs
+// exactly once, on the first delivery that arrives. On a fabric without
+// fault injection this collapses to send().OnFire(deliver) — no timer
+// events, so fault-free runs are byte-identical to a build without the
+// recovery machinery.
+//
+// With faults enabled, each attempt arms a transport timer (exponential
+// backoff: RetransTimeout doubling per retry, capped at RetransTimeoutMax).
+// The timer counts from the tail of the transfer, not its head: real RC
+// requesters time out on the missing ACK of the last packet, so the model
+// adds a size-dependent floor — twice the transfer's unloaded delivery
+// time, covering serialization, propagation, the ACK's return and a
+// contention allowance — on top of the configured ladder. Without the
+// floor, any transfer whose wire time exceeds RetransTimeout would
+// spuriously retransmit on a faulty-but-working fabric, and the duplicate
+// MiB-scale messages would congest the path until the budget exhausted.
+//
+// A timer that expires before delivery triggers a retransmission — a fresh
+// send() — until MaxRetries is exhausted, at which point the QP enters the
+// error state and the run fails via Engine.Fail (deterministically: the
+// error carries only the QP identity and retry count). A late original
+// delivery racing its own retransmission is absorbed by the completed flag,
+// and the attempt counter keeps a stale timer from double-retrying.
+func (h *HCA) reliable(kind string, peer, src, dst int, size units.Bytes, send func() *sim.Signal, deliver func()) {
+	if !h.fab.FaultsEnabled() {
+		send().OnFire(deliver)
+		return
+	}
+	// Computed only on faulty fabrics: MinLatency walks the chunk
+	// recurrence (O(chunks)), too costly for the fault-free hot path.
+	floor := h.fab.MinLatency(src, dst, size)
+	var (
+		completed bool
+		attempt   int
+		try       func(n int)
+	)
+	try = func(n int) {
+		attempt = n
+		send().OnFire(func() {
+			if completed {
+				return // duplicate: a retransmission already delivered
+			}
+			completed = true
+			deliver()
+		})
+		timeout := h.params.RetransTimeout
+		for i := 0; i < n && timeout < h.params.RetransTimeoutMax; i++ {
+			timeout *= 2
+		}
+		if timeout > h.params.RetransTimeoutMax {
+			timeout = h.params.RetransTimeoutMax
+		}
+		timeout += 2 * floor
+		h.eng.After(timeout, func() {
+			if completed || attempt != n {
+				return
+			}
+			h.Timeouts++
+			h.mTimeouts.Inc()
+			if n >= h.params.MaxRetries {
+				h.mQPErrs.Inc()
+				h.eng.Fail(fmt.Errorf(
+					"ib: QP error on node %d (%s to peer %d): retry budget exhausted after %d retransmissions",
+					h.node, kind, peer, n))
+				return
+			}
+			h.Retransmits++
+			h.mRetrans.Inc()
+			try(n + 1)
+		})
+	}
+	try(0)
+}
+
 // RDMAWrite posts an RDMA write of size bytes to the peer node, carrying
 // imm as the software envelope. The calling process pays the post overhead;
 // the transfer then proceeds asynchronously: doorbell -> HCA engine ->
@@ -260,18 +383,20 @@ func (h *HCA) RDMAWrite(p *sim.Proc, peer int, size units.Bytes, imm interface{}
 	done := h.eng.NewSignal(fmt.Sprintf("rdma %d->%d", h.node, peer))
 	h.eng.After(h.params.DoorbellLatency, func() {
 		h.engine.ServeThen(h.params.ProcPerWQE, func() {
-			h.fab.Send(h.node, peer, size).OnFire(func() {
-				// Remote HCA placement processing, then the upcall.
-				remote := h.net.hcas[peer]
-				remote.RecvCount++
-				remote.mRecvs.Inc()
-				remote.engine.ServeThen(remote.params.RecvProc, func() {
-					if remote.handler != nil {
-						remote.handler(Delivery{SrcNode: h.node, Imm: imm, Size: size})
-					}
-					done.Fire()
+			h.reliable("rdma-write", peer, h.node, peer, size,
+				func() *sim.Signal { return h.fab.Send(h.node, peer, size) },
+				func() {
+					// Remote HCA placement processing, then the upcall.
+					remote := h.net.hcas[peer]
+					remote.RecvCount++
+					remote.mRecvs.Inc()
+					remote.engine.ServeThen(remote.params.RecvProc, func() {
+						if remote.handler != nil {
+							remote.handler(Delivery{SrcNode: h.node, Imm: imm, Size: size})
+						}
+						done.Fire()
+					})
 				})
-			})
 		})
 	})
 	return done
@@ -299,22 +424,29 @@ func (h *HCA) RDMARead(p *sim.Proc, peer int, size units.Bytes, imm interface{})
 	h.eng.After(h.params.DoorbellLatency, func() {
 		h.engine.ServeThen(h.params.ProcPerWQE, func() {
 			// Read request travels to the peer (header-only), the peer's
-			// HCA serves it from memory, and the payload flows back.
-			h.fab.Send(h.node, peer, 64).OnFire(func() {
-				remote := h.net.hcas[peer]
-				remote.engine.ServeThen(remote.params.RecvProc, func() {
-					h.fab.Send(peer, h.node, size).OnFire(func() {
-						h.RecvCount++
-						h.mRecvs.Inc()
-						h.engine.ServeThen(h.params.RecvProc, func() {
-							if h.handler != nil {
-								h.handler(Delivery{SrcNode: peer, Imm: imm, Size: size})
-							}
-							done.Fire()
-						})
+			// HCA serves it from memory, and the payload flows back. Both
+			// legs are requester-recovered: RC read responses are not
+			// acknowledged, so a lost response is detected — and the whole
+			// read reissued — by the requester's transport timer.
+			h.reliable("rdma-read-req", peer, h.node, peer, 64,
+				func() *sim.Signal { return h.fab.Send(h.node, peer, 64) },
+				func() {
+					remote := h.net.hcas[peer]
+					remote.engine.ServeThen(remote.params.RecvProc, func() {
+						h.reliable("rdma-read-resp", peer, peer, h.node, size,
+							func() *sim.Signal { return h.fab.Send(peer, h.node, size) },
+							func() {
+								h.RecvCount++
+								h.mRecvs.Inc()
+								h.engine.ServeThen(h.params.RecvProc, func() {
+									if h.handler != nil {
+										h.handler(Delivery{SrcNode: peer, Imm: imm, Size: size})
+									}
+									done.Fire()
+								})
+							})
 					})
 				})
-			})
 		})
 	})
 	return done

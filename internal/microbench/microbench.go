@@ -14,13 +14,22 @@ import (
 	"repro/internal/units"
 )
 
-// obsOf unwraps the optional trailing observability registry each benchmark
-// accepts (nil — recording disabled — when absent).
-func obsOf(obs []*metrics.Registry) *metrics.Registry {
-	if len(obs) > 0 {
-		return obs[0]
+// Env is the optional trailing environment each benchmark accepts: an
+// observability registry (nil disables recording) and a fault spec
+// installed on the machine's fabric (empty leaves fault injection off; see
+// internal/fault for the language). The zero value — what callers passing
+// nothing get — is the default clean environment.
+type Env struct {
+	Metrics *metrics.Registry
+	Faults  string
+}
+
+// envOf unwraps the optional trailing environment.
+func envOf(env []Env) Env {
+	if len(env) > 0 {
+		return env[0]
 	}
-	return nil
+	return Env{}
 }
 
 // PingPongPoint is one row of Figure 1(a)/(b): the average one-way latency
@@ -45,9 +54,10 @@ func DefaultSizes() []units.Bytes {
 // network: rank 0 sends, rank 1 returns the same message; latency is half
 // the round trip, averaged over iters exchanges after warmup. An optional
 // metrics registry records counters and (if tracing) a timeline.
-func PingPong(network platform.Network, sizes []units.Bytes, iters int, obs ...*metrics.Registry) ([]PingPongPoint, error) {
+func PingPong(network platform.Network, sizes []units.Bytes, iters int, env ...Env) ([]PingPongPoint, error) {
+	e := envOf(env)
 	m, err := platform.New(platform.Options{Network: network, Ranks: 2, PPN: 1,
-		Metrics: obsOf(obs), Label: "pingpong " + network.Short()})
+		Metrics: e.Metrics, FaultSpec: e.Faults, Label: "pingpong " + network.Short()})
 	if err != nil {
 		return nil, err
 	}
@@ -97,9 +107,10 @@ type StreamingPoint struct {
 // `window` receives; the sender fires `window` back-to-back nonblocking
 // sends; both wait; repeat for iters windows. This quantifies the ability
 // to fill the message-passing pipeline (Section 2.1).
-func Streaming(network platform.Network, sizes []units.Bytes, window, iters int, obs ...*metrics.Registry) ([]StreamingPoint, error) {
+func Streaming(network platform.Network, sizes []units.Bytes, window, iters int, env ...Env) ([]StreamingPoint, error) {
+	e := envOf(env)
 	m, err := platform.New(platform.Options{Network: network, Ranks: 2, PPN: 1,
-		Metrics: obsOf(obs), Label: "streaming " + network.Short()})
+		Metrics: e.Metrics, FaultSpec: e.Faults, Label: "streaming " + network.Short()})
 	if err != nil {
 		return nil, err
 	}
@@ -168,12 +179,13 @@ func BEffSizes() []units.Bytes {
 // line-for-line port: patterns are one nearest-neighbour ring, one
 // stride-ring, and three seeded random permutations; each is measured with
 // Sendrecv loops.
-func BEff(network platform.Network, ranks, itersPerSize int, seed uint64, obs ...*metrics.Registry) (*BEffResult, error) {
+func BEff(network platform.Network, ranks, itersPerSize int, seed uint64, env ...Env) (*BEffResult, error) {
 	if ranks < 2 {
 		return nil, fmt.Errorf("microbench: b_eff needs at least 2 ranks")
 	}
+	e := envOf(env)
 	m, err := platform.New(platform.Options{Network: network, Ranks: ranks, PPN: 1,
-		Metrics: obsOf(obs), Label: fmt.Sprintf("beff%d %s", ranks, network.Short())})
+		Metrics: e.Metrics, FaultSpec: e.Faults, Label: fmt.Sprintf("beff%d %s", ranks, network.Short())})
 	if err != nil {
 		return nil, err
 	}

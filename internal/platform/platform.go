@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/elan"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/ib"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
@@ -88,6 +89,12 @@ func ElanFabricParams() fabric.Params {
 		HostBandwidth:  940 * units.MBps,
 		HostLatency:    400 * units.Nanosecond,
 		Adaptive:       true,
+		// QsNetII recovers from CRC failures in link-level hardware: the
+		// sending Elite retries the packet on the same hop, invisibly to
+		// the host — no transport timer, no endpoint retransmission. The
+		// delay approximates the retry turnaround of the 1.3 GB/s links.
+		HWRetry:      true,
+		HWRetryDelay: 500 * units.Nanosecond,
 	}
 }
 
@@ -128,6 +135,19 @@ type Options struct {
 	// path explicitly.
 	DisableCoalescing bool
 
+	// FaultSpec, when non-empty, installs a fault plan on the machine's
+	// fabric (see internal/fault for the spec language). Faults are
+	// simulated-time events from a seeded plan, so a faulty run is exactly
+	// as deterministic as a clean one. Empty (the default) leaves fault
+	// injection disabled and the event stream untouched.
+	FaultSpec string
+
+	// Radix overrides the switch port count (0 keeps the platform default:
+	// IBRadix or ElanRadix). Shrinking the radix below the node count
+	// forces a 2-level Clos with few spines — the configuration
+	// degraded-fabric experiments use to study spine-failure route-around.
+	Radix int
+
 	// Optional hooks to perturb parameters for ablation studies. Called
 	// with the calibrated defaults before construction.
 	TuneFabric func(*fabric.Params)
@@ -165,12 +185,19 @@ func New(opts Options) (*Machine, error) {
 		if opts.TuneFabric != nil {
 			opts.TuneFabric(&fp)
 		}
-		fab, err := fabric.New(eng, nodes, IBRadix, fp)
+		radix := IBRadix
+		if opts.Radix > 0 {
+			radix = opts.Radix
+		}
+		fab, err := fabric.New(eng, nodes, radix, fp)
 		if err != nil {
 			return nil, err
 		}
 		if opts.DisableCoalescing {
 			fab.SetCoalescing(false)
+		}
+		if err := fault.InstallSpec(opts.FaultSpec, eng, fab); err != nil {
+			return nil, err
 		}
 		hp := ib.DefaultParams()
 		tp := mvib.DefaultParams()
@@ -190,12 +217,19 @@ func New(opts Options) (*Machine, error) {
 		if opts.TuneFabric != nil {
 			opts.TuneFabric(&fp)
 		}
-		fab, err := fabric.New(eng, nodes, ElanRadix, fp)
+		radix := ElanRadix
+		if opts.Radix > 0 {
+			radix = opts.Radix
+		}
+		fab, err := fabric.New(eng, nodes, radix, fp)
 		if err != nil {
 			return nil, err
 		}
 		if opts.DisableCoalescing {
 			fab.SetCoalescing(false)
+		}
+		if err := fault.InstallSpec(opts.FaultSpec, eng, fab); err != nil {
+			return nil, err
 		}
 		ep := elan.DefaultParams()
 		if opts.TuneElan != nil {

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -32,14 +34,67 @@ type Table struct {
 	Rows    [][]string `json:"rows"`
 }
 
+// Failure records one job that ultimately failed (after any retries), so a
+// sweep can degrade gracefully: the series completes, the affected points
+// are marked, and the artifact carries the provenance. Cause is the final
+// error's message — structurally stable (no stacks, no addresses), so
+// artifacts with the same failures are byte-identical across runs.
+type Failure struct {
+	Job      string            `json:"job"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Cause    string            `json:"cause"`
+	Attempts int               `json:"attempts"`
+}
+
+// Failures collects the failed results, in submission order.
+func Failures(results []Result) []Failure {
+	var out []Failure
+	for _, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		attempts := r.Attempts
+		if attempts == 0 {
+			attempts = 1
+		}
+		out = append(out, Failure{Job: r.ID, Labels: r.Labels,
+			Cause: r.Err.Error(), Attempts: attempts})
+	}
+	return out
+}
+
 // Artifact is the JSON artifact written per experiment: the same tables
 // the text renderer prints, plus run metadata.
 type Artifact struct {
-	Experiment string   `json:"experiment"`
-	Title      string   `json:"title"`
-	Meta       Meta     `json:"meta"`
-	Tables     []Table  `json:"tables"`
-	Notes      []string `json:"notes,omitempty"`
+	Experiment string    `json:"experiment"`
+	Title      string    `json:"title"`
+	Meta       Meta      `json:"meta"`
+	Tables     []Table   `json:"tables"`
+	Notes      []string  `json:"notes,omitempty"`
+	Failures   []Failure `json:"failures,omitempty"`
+	// Checksum is the SHA-256 (hex) of the result payload — experiment,
+	// title, tables, notes, failures; not Meta, which records run
+	// circumstances rather than results. Write computes it; ReadArtifact
+	// verifies it, so artifact corruption or hand-editing is detected.
+	// Artifacts written before checksums existed (empty field) still load.
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// checksum computes the artifact's payload digest.
+func (a *Artifact) checksum() (string, error) {
+	payload := struct {
+		Experiment string    `json:"experiment"`
+		Title      string    `json:"title"`
+		Tables     []Table   `json:"tables"`
+		Notes      []string  `json:"notes,omitempty"`
+		Failures   []Failure `json:"failures,omitempty"`
+	}{a.Experiment, a.Title, a.Tables, a.Notes, a.Failures}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Write stores the artifact as dir/<experiment>.json and returns the path.
@@ -50,6 +105,11 @@ func (a *Artifact) Write(dir string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
+	sum, err := a.checksum()
+	if err != nil {
+		return "", err
+	}
+	a.Checksum = sum
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		return "", err
@@ -70,6 +130,16 @@ func ReadArtifact(path string) (*Artifact, error) {
 	a := &Artifact{}
 	if err := json.Unmarshal(data, a); err != nil {
 		return nil, fmt.Errorf("runner: %s: %w", path, err)
+	}
+	if a.Checksum != "" {
+		sum, err := a.checksum()
+		if err != nil {
+			return nil, err
+		}
+		if sum != a.Checksum {
+			return nil, fmt.Errorf("runner: %s: checksum mismatch (artifact corrupted or edited): have %s, computed %s",
+				path, a.Checksum, sum)
+		}
 	}
 	return a, nil
 }

@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryRecoversPanic: a job that panics on its first attempts and then
+// succeeds is retried up to Pool.Retries times, and the result records the
+// true attempt count.
+func TestRetryRecoversPanic(t *testing.T) {
+	var runs int32
+	p := &Pool{Workers: 1, Retries: 3, Backoff: time.Millisecond}
+	res := p.Run(context.Background(), []Job{{
+		ID: "flaky",
+		Run: func(context.Context) (interface{}, error) {
+			if atomic.AddInt32(&runs, 1) < 3 {
+				panic("transient")
+			}
+			return "ok", nil
+		},
+	}})
+	r := res[0]
+	if r.Err != nil {
+		t.Fatalf("err = %v after retries", r.Err)
+	}
+	if r.Value != "ok" || r.Attempts != 3 {
+		t.Fatalf("value=%v attempts=%d, want ok/3", r.Value, r.Attempts)
+	}
+}
+
+// TestRetryExhaustion: a job that always panics surfaces the final
+// *PanicError with Attempts = 1 + Retries.
+func TestRetryExhaustion(t *testing.T) {
+	p := &Pool{Workers: 1, Retries: 2, Backoff: time.Millisecond}
+	res := p.Run(context.Background(), []Job{{
+		ID:  "doomed",
+		Run: func(context.Context) (interface{}, error) { panic("always") },
+	}})
+	r := res[0]
+	var pe *PanicError
+	if !errors.As(r.Err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", r.Err)
+	}
+	if r.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", r.Attempts)
+	}
+}
+
+// TestPlainErrorNotRetried: an ordinary error comes from a deterministic
+// simulation and would recur, so the pool must not waste attempts on it.
+func TestPlainErrorNotRetried(t *testing.T) {
+	var runs int32
+	p := &Pool{Workers: 1, Retries: 5, Backoff: time.Millisecond}
+	res := p.Run(context.Background(), []Job{{
+		ID: "det",
+		Run: func(context.Context) (interface{}, error) {
+			atomic.AddInt32(&runs, 1)
+			return nil, fmt.Errorf("simulation invariant violated")
+		},
+	}})
+	if runs != 1 || res[0].Attempts != 1 {
+		t.Fatalf("runs=%d attempts=%d, want 1/1", runs, res[0].Attempts)
+	}
+}
+
+// TestTimeoutRetried: a timeout is an infrastructure failure, so it is
+// retried — and a later attempt that completes in time succeeds.
+func TestTimeoutRetried(t *testing.T) {
+	var runs int32
+	p := &Pool{Workers: 1, Retries: 2, Backoff: time.Millisecond,
+		Timeout: 50 * time.Millisecond}
+	res := p.Run(context.Background(), []Job{{
+		ID: "slow-once",
+		Run: func(ctx context.Context) (interface{}, error) {
+			if atomic.AddInt32(&runs, 1) == 1 {
+				<-ctx.Done() // first attempt hangs until abandoned
+				return nil, ctx.Err()
+			}
+			return 7, nil
+		},
+	}})
+	r := res[0]
+	if r.Err != nil || r.Value != 7 || r.Attempts != 2 {
+		t.Fatalf("err=%v value=%v attempts=%d, want nil/7/2", r.Err, r.Value, r.Attempts)
+	}
+}
+
+// TestFailuresCollection: Failures extracts failed results in submission
+// order with stable causes and attempt counts.
+func TestFailuresCollection(t *testing.T) {
+	p := &Pool{Workers: 4}
+	jobs := []Job{
+		{ID: "a", Run: func(context.Context) (interface{}, error) { return 1, nil }},
+		{ID: "b", Labels: map[string]string{"net": "ib"},
+			Run: func(context.Context) (interface{}, error) { return nil, fmt.Errorf("qp error") }},
+		{ID: "c", Run: func(context.Context) (interface{}, error) { return 3, nil }},
+		{ID: "d", Run: func(context.Context) (interface{}, error) { return nil, fmt.Errorf("boom") }},
+	}
+	fails := Failures(p.Run(context.Background(), jobs))
+	if len(fails) != 2 {
+		t.Fatalf("got %d failures, want 2", len(fails))
+	}
+	if fails[0].Job != "b" || fails[1].Job != "d" {
+		t.Fatalf("failure order %q, %q: want submission order b, d", fails[0].Job, fails[1].Job)
+	}
+	if fails[0].Cause != "qp error" || fails[0].Labels["net"] != "ib" || fails[0].Attempts != 1 {
+		t.Fatalf("failure = %+v", fails[0])
+	}
+}
+
+// TestArtifactChecksum: Write stamps a checksum over the result payload;
+// ReadArtifact verifies it; tampering with a table cell is detected, while
+// editing Meta (run circumstances, not results) is not a checksum matter.
+func TestArtifactChecksum(t *testing.T) {
+	dir := t.TempDir()
+	a := &Artifact{
+		Experiment: "fig9",
+		Title:      "t",
+		Tables:     []Table{{Title: "T", Headers: []string{"x"}, Rows: [][]string{{"1.23"}}}},
+		Failures:   []Failure{{Job: "p", Cause: "timeout", Attempts: 2}},
+	}
+	path, err := a.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum == "" || len(a.Checksum) != 64 {
+		t.Fatalf("checksum = %q, want 64 hex chars", a.Checksum)
+	}
+	if _, err := ReadArtifact(path); err != nil {
+		t.Fatalf("clean artifact failed verification: %v", err)
+	}
+
+	// Tamper with a result value: must be detected.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), "1.23", "9.99", 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper target not found")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(bad); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("tampered artifact read back: err = %v", err)
+	}
+}
+
+// TestArtifactLegacyNoChecksum: artifacts written before checksums existed
+// (empty field) still load.
+func TestArtifactLegacyNoChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	legacy := `{"experiment":"old","title":"t","meta":{"quick":false,"jobs":1,"seed":1,"wall_ms":1},"tables":[]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Experiment != "old" || a.Checksum != "" {
+		t.Fatalf("artifact = %+v", a)
+	}
+}

@@ -34,6 +34,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -69,6 +70,10 @@ type Result struct {
 	Value  interface{}
 	Err    error
 	Wall   time.Duration
+	// Attempts counts executions of the job: 1 for a clean first run,
+	// more when the pool retried a panic or timeout (see Pool.Retries).
+	// Wall spans all attempts, including backoff.
+	Attempts int
 }
 
 // PanicError is a job panic converted into a structured error. The sweep
@@ -134,6 +139,18 @@ type Pool struct {
 	// but arrive in completion order, not submission order.
 	OnResult func(index int, r Result)
 
+	// Retries re-runs a job that panicked or timed out up to this many
+	// additional times before accepting the failure. Only infrastructure
+	// failures (*PanicError, *TimeoutError) are retried: an ordinary error
+	// returned by Job.Run comes from a deterministic simulation and would
+	// simply recur. 0 disables retries; cancellation stops them early.
+	Retries int
+	// Backoff is the wait before the first retry, doubling per subsequent
+	// retry and capped at 5s. <= 0 means 100ms. Purely wall-clock pacing
+	// between attempts of a host-level failure; never observable in
+	// results.
+	Backoff time.Duration
+
 	// progressLen is the length of the last progress line written, so a
 	// shorter overwrite can pad over the previous line's tail. Accessed
 	// only under the pool mutex (reportProgress's caller holds it).
@@ -185,7 +202,7 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) []Result {
 					r = Result{ID: jobs[i].ID, Labels: jobs[i].Labels,
 						Err: fmt.Errorf("runner: job %q skipped: %w", jobs[i].ID, err)}
 				} else {
-					r = p.runJob(ctx, jobs[i])
+					r = p.runWithRetries(ctx, jobs[i])
 				}
 				results[i] = r
 				d := int(atomic.AddInt64(&done, 1))
@@ -200,6 +217,50 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) []Result {
 	}
 	wg.Wait()
 	return results
+}
+
+// runWithRetries executes one job, re-running infrastructure failures
+// (panic, timeout) up to p.Retries times with capped exponential backoff.
+// Simulations are deterministic, so a retry only helps when the failure is
+// host-level (resource exhaustion, scheduling-induced timeout) — which is
+// exactly what panics and timeouts signal. Deterministic failures recur and
+// surface after the final attempt with the true attempt count.
+func (p *Pool) runWithRetries(ctx context.Context, job Job) Result {
+	r := p.runJob(ctx, job)
+	r.Attempts = 1
+	if p.Retries <= 0 {
+		return r
+	}
+	backoff := p.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	const maxBackoff = 5 * time.Second
+	start := time.Now() //simlint:allow wallclock — Wall is diagnostic
+	for attempt := 1; attempt <= p.Retries; attempt++ {
+		if !retryable(r.Err) || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(backoff) //simlint:allow wallclock — retry pacing between host-level failures, never in results
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		r = p.runJob(ctx, job)
+		r.Attempts = attempt + 1
+	}
+	r.Wall = time.Since(start) //simlint:allow wallclock — Wall is diagnostic
+	return r
+}
+
+// retryable reports whether err is an infrastructure failure worth
+// re-running (as opposed to a deterministic simulation error).
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *PanicError
+	var te *TimeoutError
+	return errors.As(err, &pe) || errors.As(err, &te)
 }
 
 // runJob executes one job with panic recovery and an optional deadline.

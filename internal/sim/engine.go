@@ -315,6 +315,18 @@ func (e *Engine) blockedProcs() []string {
 // Err reports the first fatal error recorded by the engine.
 func (e *Engine) Err() error { return e.err }
 
+// Fail records err as the engine's fatal error; the run loop returns it
+// after the current event's dispatch completes. Only the first failure is
+// kept. Model layers use this to surface unrecoverable conditions (e.g. an
+// IB QP error after retransmission exhaustion) as a deterministic error
+// instead of a panic: the message carries no stack, so it is identical
+// across runs and safe to record in artifacts.
+func (e *Engine) Fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
 // Shutdown unwinds every live process goroutine. Call it when abandoning an
 // engine (after a deadlock, error, or early Stop) to avoid leaking parked
 // goroutines. The engine must not be run again afterwards.
