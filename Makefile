@@ -10,9 +10,9 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: check vet build test race lint fix-verify bench bench-baseline bench-compare regen trace-demo chaos
+.PHONY: check vet build test race lint serve-smoke fix-verify bench bench-baseline bench-compare regen trace-demo chaos
 
-check: vet build test race lint
+check: vet build test race lint serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,7 +53,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/fabric/... ./internal/fault/... ./internal/metrics/... ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race ./internal/sim/... ./internal/fabric/... ./internal/fault/... ./internal/metrics/... ./internal/runner/... ./internal/experiments/... ./internal/server/...
+
+# serve-smoke boots the simd job server on an ephemeral port, POSTs a
+# quick fig1a job, follows the SSE stream to completion, asserts the
+# second identical POST is a cache hit with the same checksum, and
+# checks SIGTERM drains cleanly.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchtime=1x

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	repro -list
+//	repro -list                 # experiment ids with descriptions
+//	repro -exp list             # same listing (mirrors GET /v1/experiments on simd)
 //	repro -exp fig1a            # one experiment, full fidelity
 //	repro -exp all              # everything, experiments in parallel
 //	repro -exp all -jobs 1      # serial run (byte-identical stdout)
@@ -29,9 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -68,10 +71,9 @@ func run() int {
 	)
 	flag.Parse()
 
-	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
-		}
+	if *list || *exp == "list" {
+		// Same listing the server's GET /v1/experiments catalog serves.
+		os.Stdout.WriteString(experiments.Listing())
 		return 0
 	}
 	if *exp == "" {
@@ -100,8 +102,14 @@ func run() int {
 		}
 	}
 
+	// SIGINT/SIGTERM drain the suite gracefully: no new sweep points are
+	// scheduled, in-flight simulations stop cooperatively, and whatever
+	// already completed still prints. A second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := experiments.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout,
-		Faults: *faults, Retries: *retries}
+		Faults: *faults, Retries: *retries, Ctx: ctx}
 	if *progress {
 		opts.Progress = os.Stderr
 	}
@@ -174,7 +182,11 @@ func run() int {
 		pool.Progress = os.Stderr
 	}
 	suiteStart := time.Now()
-	results := pool.Run(context.Background(), jobList)
+	results := pool.Run(ctx, jobList)
+	if ctx.Err() != nil {
+		stop() // restore default handling before reporting
+		fmt.Fprintln(os.Stderr, "repro: interrupted; draining finished, partial results above")
+	}
 
 	// Per-experiment wall-time summary; failures listed explicitly so an
 	// error in a late experiment cannot scroll past unnoticed.
@@ -212,6 +224,11 @@ func run() int {
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "repro: %d of %d experiments failed\n", failed, len(todo))
 		return 1
+	}
+	if ctx.Err() != nil {
+		// A drained sweep still renders its completed points, so nothing
+		// above "failed" — but an interrupted run is not a clean one.
+		return 130
 	}
 	return 0
 }

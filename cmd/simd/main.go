@@ -1,0 +1,117 @@
+// Command simd is the simulation-as-a-service daemon: a long-running
+// HTTP job server over the experiment suite (internal/server). It
+// accepts experiment specs, admission-controls them, runs them on a
+// persistent worker pool, streams progress over SSE, and serves results
+// from a content-addressed artifact cache so identical requests cost
+// one simulation.
+//
+// Usage:
+//
+//	simd -addr 127.0.0.1:8941 -cache .simd-cache
+//	simd -addr 127.0.0.1:0    # ephemeral port; the chosen address prints on stdout
+//
+// Quickstart against a running server:
+//
+//	curl -s localhost:8941/v1/experiments
+//	curl -s -X POST localhost:8941/v1/jobs -d '{"experiment":"fig1a","quick":true}'
+//	curl -s -N localhost:8941/v1/jobs/job-000001/events   # SSE until completion
+//	curl -s localhost:8941/v1/jobs/job-000001/result      # the artifact
+//
+// SIGINT/SIGTERM drains gracefully: admission closes (503), queued jobs
+// cancel, running simulations finish (bounded by -drain-grace, after
+// which they are cancelled cooperatively). A second signal exits
+// immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8941", "listen address; port 0 picks an ephemeral port (printed on stdout)")
+		cacheDir   = flag.String("cache", ".simd-cache", "content-addressed artifact cache directory")
+		workers    = flag.Int("workers", 0, "concurrently running experiments (0 = GOMAXPROCS)")
+		sweepJobs  = flag.Int("sweep-jobs", 0, "sweep-point concurrency inside each experiment (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "admission queue depth across both priority lanes")
+		rate       = flag.Float64("rate", 0, "per-tenant admission rate in jobs/sec (0 = unlimited)")
+		burst      = flag.Float64("burst", 8, "per-tenant token-bucket burst")
+		simTO      = flag.Duration("sim-timeout", 0, "per-simulation timeout inside sweeps (0 = none)")
+		retries    = flag.Int("retries", 0, "re-run a sweep point that panics or times out up to N extra times")
+		version    = flag.String("code-version", "", "cache-key code version (default: embedded VCS revision, else \"dev\")")
+		grace      = flag.Duration("drain-grace", 30*time.Second, "how long a signal-initiated drain waits for running jobs before cancelling them")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "simd: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		CacheDir:    *cacheDir,
+		Workers:     *workers,
+		SweepJobs:   *sweepJobs,
+		QueueDepth:  *queueDepth,
+		QuotaRate:   *rate,
+		QuotaBurst:  *burst,
+		SimTimeout:  *simTO,
+		Retries:     *retries,
+		CodeVersion: *version,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	// The chosen address goes to stdout (and only it does), so scripts
+	// using an ephemeral port can read the first line and start curling.
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+	logger.Printf("serving on %s (cache %s, code version %s)", ln.Addr(), *cacheDir, srv.CodeVersion())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		logger.Print(err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills the process
+	logger.Printf("signal received; draining (grace %v)", *grace)
+
+	// Drain the job layer first so submissions get an orderly 503 (not a
+	// connection refused) and SSE followers see their terminal events;
+	// only then close the HTTP front end.
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	drainErr := srv.Drain(graceCtx)
+	if err := httpSrv.Shutdown(graceCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		logger.Printf("drain cut short: %v", drainErr)
+		return 1
+	}
+	logger.Print("drained cleanly")
+	return 0
+}

@@ -98,7 +98,7 @@ func runXReg(o Options) (*Result, error) {
 		return platform.New(platform.Options{Network: platform.QuadricsElan4, Ranks: 2, PPN: 1,
 			Metrics: o.Metrics, FaultSpec: o.Faults})
 	}})
-	colVals, err := runner.Map(context.Background(), o.pool("xreg"), cols,
+	colVals, err := runner.Map(o.ctx(), o.pool("xreg"), cols,
 		func(_ int, c column) string { return c.label },
 		func(_ context.Context, c column) ([]float64, error) {
 			m, err := c.build()
@@ -153,7 +153,7 @@ func runXOverlap(o Options) (*Result, error) {
 			cells = append(cells, cell{size, net})
 		}
 	}
-	ratios, err := runner.Map(context.Background(), o.pool("xoverlap"), cells,
+	ratios, err := runner.Map(o.ctx(), o.pool("xoverlap"), cells,
 		func(_ int, c cell) string { return fmt.Sprintf("overlap %s %v", c.net.Short(), c.size) },
 		func(_ context.Context, c cell) (float64, error) {
 			m, err := platform.New(platform.Options{Network: c.net, Ranks: 2, PPN: 1,

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Info identifies one registered experiment for catalogs. The CLI's
+// `repro -exp list` output and the job server's GET /v1/experiments
+// endpoint both render this structure, so the two listings can never
+// drift apart.
+type Info struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Catalog returns every registered experiment in registration (paper)
+// order.
+func Catalog() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, Info{ID: e.ID, Title: e.Title})
+	}
+	return out
+}
+
+// Listing renders the catalog as aligned "id  title" lines, one per
+// experiment, in registration order.
+func Listing() string {
+	var b strings.Builder
+	for _, e := range Catalog() {
+		fmt.Fprintf(&b, "%-8s %s\n", e.ID, e.Title)
+	}
+	return b.String()
+}

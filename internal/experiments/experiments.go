@@ -58,12 +58,34 @@ type Options struct {
 	// Retries re-runs sweep points that panic or time out up to this many
 	// additional times before recording the failure (see runner.Pool).
 	Retries int
+	// Ctx, when non-nil, is the base context every sweep runs under:
+	// cancelling it drains the worker pools gracefully (in-flight points
+	// finish, queued points are skipped). Nil means context.Background().
+	Ctx context.Context
+	// OnProgress, when non-nil, receives a callback after each sweep point
+	// completes: the sweep's name plus done/total counts. This is the
+	// programmatic twin of Progress (which renders stderr lines) and is
+	// how the job server streams experiment progress to clients.
+	OnProgress func(sweep string, done, total int)
 }
 
 // pool builds the parallel runner every sweep in this package executes on.
 func (o Options) pool(name string) *runner.Pool {
-	return &runner.Pool{Workers: o.Jobs, Timeout: o.Timeout, Progress: o.Progress,
+	p := &runner.Pool{Workers: o.Jobs, Timeout: o.Timeout, Progress: o.Progress,
 		Name: name, Retries: o.Retries}
+	if o.OnProgress != nil {
+		hook := o.OnProgress
+		p.OnProgress = func(done, total int) { hook(name, done, total) }
+	}
+	return p
+}
+
+// ctx returns the base context sweeps run under.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // env packages the per-machine environment for microbench calls.
@@ -181,7 +203,7 @@ func runSeries(o Options, nets []platform.Network, nodeCounts []int, ppns []int,
 				return res.Elapsed.Seconds(), nil
 			}}
 	}
-	results := o.pool("series").Run(context.Background(), jobs)
+	results := o.pool("series").Run(o.ctx(), jobs)
 	out := make(map[seriesKey]float64, len(keys))
 	for i, k := range keys {
 		if results[i].Err == nil {

@@ -94,7 +94,7 @@ func runXFault(o Options) (*Result, error) {
 				return v, nil
 			}}
 	}
-	lossRes := o.pool("xfault-loss").Run(context.Background(), lossJobs)
+	lossRes := o.pool("xfault-loss").Run(o.ctx(), lossJobs)
 	attachFailures(r, runner.Failures(lossRes))
 
 	t1 := newTable("Injection-link chunk loss (ping-pong + streaming, 4 KiB)",
@@ -158,7 +158,7 @@ func runXFault(o Options) (*Result, error) {
 					rerouted: m.Fab.FaultStats().ChunksRerouted, retrans: retrans}, nil
 			}}
 	}
-	spineRes := o.pool("xfault-spine").Run(context.Background(), spineJobs)
+	spineRes := o.pool("xfault-spine").Run(o.ctx(), spineJobs)
 	attachFailures(r, runner.Failures(spineRes))
 
 	t2 := newTable("Spine-0 outage, radix-4 fabric (ping-pong 0<->6, 4 KiB)",

@@ -54,7 +54,7 @@ func fig1Iters(quick bool) int {
 func runFig1a(o Options) (*Result, error) {
 	sizes := fig1Sizes(o.Quick)
 	iters := fig1Iters(o.Quick)
-	pp, err := runner.Map(context.Background(), o.pool("fig1a"), platform.Networks,
+	pp, err := runner.Map(o.ctx(), o.pool("fig1a"), platform.Networks,
 		func(_ int, net platform.Network) string { return "pingpong " + net.Short() },
 		func(_ context.Context, net platform.Network) ([]microbench.PingPongPoint, error) {
 			return microbench.PingPong(net, sizes, iters, o.env())
@@ -102,7 +102,7 @@ func runFig1b(o Options) (*Result, error) {
 			return microbench.Streaming(platform.InfiniBand4X, ssizes, window, witers, o.env())
 		}},
 	}
-	rs := o.pool("fig1b").Run(context.Background(), jobs)
+	rs := o.pool("fig1b").Run(o.ctx(), jobs)
 	if err := runner.FirstError(rs); err != nil {
 		return nil, err
 	}
@@ -160,7 +160,7 @@ func runFig1d(o Options) (*Result, error) {
 			cfgs = append(cfgs, beffCfg{p, net})
 		}
 	}
-	vals, err := runner.Map(context.Background(), o.pool("fig1d"), cfgs,
+	vals, err := runner.Map(o.ctx(), o.pool("fig1d"), cfgs,
 		func(_ int, c beffCfg) string { return fmt.Sprintf("b_eff %s procs=%d", c.net.Short(), c.procs) },
 		func(_ context.Context, c beffCfg) (*microbench.BEffResult, error) {
 			return microbench.BEff(c.net, c.procs, iters, CanonicalSeed, o.env())

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecNormalized(t *testing.T) {
+	s, err := Spec{Experiment: "  fig1a  "}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Experiment != "fig1a" || s.Seed != CanonicalSeed {
+		t.Fatalf("normalized = %+v", s)
+	}
+	if _, err := (Spec{Experiment: "nope"}).Normalized(); err == nil {
+		t.Fatal("unknown experiment must not normalize")
+	}
+	if _, err := (Spec{}).Normalized(); err == nil {
+		t.Fatal("empty spec must not normalize")
+	}
+	if _, err := (Spec{Experiment: "fig1a", Seed: 7}).Normalized(); err == nil {
+		t.Fatal("non-canonical seed must not normalize")
+	}
+}
+
+func TestSpecCanonicalStability(t *testing.T) {
+	// The canonical encoding is a wire/cache contract: changing it silently
+	// invalidates every stored artifact. Pin it exactly.
+	got := Spec{Experiment: "fig1a", Quick: true, Seed: CanonicalSeed}.Canonical()
+	want := "experiment=fig1a&quick=1&seed=42&faults="
+	if got != want {
+		t.Fatalf("Canonical() = %q, want %q", got, want)
+	}
+	// Seed 0 encodes as the canonical seed: the default is explicit.
+	if a, b := (Spec{Experiment: "fig2"}).Canonical(), (Spec{Experiment: "fig2", Seed: CanonicalSeed}).Canonical(); a != b {
+		t.Fatalf("default seed encodes differently: %q vs %q", a, b)
+	}
+	// Fault plans are escaped so they cannot alias the separators.
+	c := Spec{Experiment: "fig2", Faults: "link=down&seed=9"}.Canonical()
+	if strings.Count(c, "&") != 3 {
+		t.Fatalf("fault plan aliases separators: %q", c)
+	}
+}
+
+func TestSpecKey(t *testing.T) {
+	base := Spec{Experiment: "fig1a", Quick: true}
+	k := base.Key("v1")
+	if len(k) != 64 || strings.ToLower(k) != k {
+		t.Fatalf("key %q is not lowercase hex sha256", k)
+	}
+	if base.Key("v1") != k {
+		t.Fatal("key is not deterministic")
+	}
+	if base.Key("v2") == k {
+		t.Fatal("code version must change the key")
+	}
+	if (Spec{Experiment: "fig1a"}).Key("v1") == k {
+		t.Fatal("quick must change the key")
+	}
+	if (Spec{Experiment: "fig1a", Quick: true, Faults: "storm:1"}).Key("v1") == k {
+		t.Fatal("fault plan must change the key")
+	}
+}
+
+func TestCatalogAndListing(t *testing.T) {
+	cat := Catalog()
+	if len(cat) == 0 {
+		t.Fatal("empty catalog")
+	}
+	seen := map[string]bool{}
+	for _, info := range cat {
+		if info.ID == "" || info.Title == "" {
+			t.Fatalf("catalog entry incomplete: %+v", info)
+		}
+		if seen[info.ID] {
+			t.Fatalf("duplicate catalog id %s", info.ID)
+		}
+		seen[info.ID] = true
+	}
+	if !seen["fig1a"] || !seen["table2"] {
+		t.Fatalf("catalog missing core experiments: %v", seen)
+	}
+	listing := Listing()
+	lines := strings.Split(strings.TrimRight(listing, "\n"), "\n")
+	if len(lines) != len(cat) {
+		t.Fatalf("Listing has %d lines, catalog %d entries", len(lines), len(cat))
+	}
+	for i, info := range cat {
+		if !strings.HasPrefix(lines[i], info.ID) || !strings.Contains(lines[i], info.Title) {
+			t.Fatalf("listing line %d = %q, want id %s + title", i, lines[i], info.ID)
+		}
+	}
+}

@@ -97,25 +97,38 @@ func (a *Artifact) checksum() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Write stores the artifact as dir/<experiment>.json and returns the path.
-func (a *Artifact) Write(dir string) (string, error) {
+// Encode seals the artifact and renders it in the on-disk format:
+// Checksum is (re)computed over the payload, then the whole artifact is
+// marshaled as indented, newline-terminated JSON. Write and the job
+// server's content-addressed cache share this encoding, so every stored
+// artifact is self-verifying regardless of which layer stored it.
+func (a *Artifact) Encode() ([]byte, error) {
 	if a.Experiment == "" {
-		return "", fmt.Errorf("runner: artifact has no experiment id")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
+		return nil, fmt.Errorf("runner: artifact has no experiment id")
 	}
 	sum, err := a.checksum()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	a.Checksum = sum
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Write stores the artifact as dir/<experiment>.json and returns the path.
+func (a *Artifact) Write(dir string) (string, error) {
+	data, err := a.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, a.Experiment+".json")
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return "", err
 	}
 	return path, nil

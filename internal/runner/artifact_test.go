@@ -1,10 +1,12 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -49,6 +51,40 @@ func TestArtifactRoundTrip(t *testing.T) {
 		if _, ok := m[key]; !ok {
 			t.Errorf("artifact JSON lacks %q", key)
 		}
+	}
+}
+
+// TestReadArtifactDetectsCorruption tampers with a stored artifact in a
+// way that keeps the JSON parsable — only the payload drifts from the
+// recorded SHA-256 — and asserts the read refuses it.
+func TestReadArtifactDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	a := &Artifact{
+		Experiment: "fig1a",
+		Title:      "Ping-pong latency",
+		Tables: []Table{{
+			Title:   "Figure 1(a)",
+			Headers: []string{"size", "Elan4 us", "IB us"},
+			Rows:    [][]string{{"0 B", "2.81", "6.25"}},
+		}},
+	}
+	path, err := a.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := bytes.Replace(raw, []byte("2.81"), []byte("9.99"), 1)
+	if bytes.Equal(corrupted, raw) {
+		t.Fatal("corruption did not take")
+	}
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(path); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("ReadArtifact on corrupted file: err = %v, want checksum mismatch", err)
 	}
 }
 

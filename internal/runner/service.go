@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrClosed is returned by Service.Submit after Drain has begun.
+var ErrClosed = errors.New("runner: service closed")
+
+// Service is the persistent form of Pool: a long-lived set of workers
+// that accepts jobs one at a time over the process lifetime instead of
+// as a single batch. Pool.Run owns sweeps ("run these N points, give me
+// N results"); Service owns services ("keep W workers hot and hand me a
+// handle per submission"). Each submitted job still gets Pool's
+// execution semantics — panic isolation, per-job timeouts, retry with
+// backoff — via the same runWithRetries core.
+//
+// Submission is rendezvous-style: Submit blocks until a worker accepts
+// the job (or ctx is cancelled, or the service drains). The service
+// itself holds no queue — callers that need buffering, priorities, or
+// admission control build them in front (see internal/server).
+type Service struct {
+	pool Pool
+
+	mu         sync.Mutex
+	closed     bool
+	submitting sync.WaitGroup // Submit calls past the closed check
+	jobs       chan *Handle
+	workers    sync.WaitGroup
+}
+
+// Handle tracks one submitted job through completion.
+type Handle struct {
+	job    Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	result Result // written exactly once, before done closes
+}
+
+// Job returns the submitted job (for attribution).
+func (h *Handle) Job() Job { return h.job }
+
+// Done is closed when the job has finished (any outcome).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Cancel asks the job to stop by cancelling its context. Cancellation is
+// cooperative: a simulation that threads the context through its sweeps
+// drains gracefully; one that cannot observe it runs to completion (or
+// its timeout). Cancel never abandons a worker mid-job.
+func (h *Handle) Cancel() { h.cancel() }
+
+// Result blocks until the job finishes and returns its outcome.
+func (h *Handle) Result() Result {
+	<-h.done
+	return h.result
+}
+
+func (h *Handle) finish(r Result) {
+	h.result = r
+	h.cancel() // release the context's resources
+	close(h.done)
+}
+
+// NewService starts a persistent pool of p.Workers workers
+// (GOMAXPROCS(0) if <= 0). The pool's Timeout, Retries, and Backoff
+// govern every submitted job; its batch-oriented fields (Progress,
+// OnResult, OnProgress) are ignored here — per-job observers belong to
+// the jobs themselves.
+func NewService(p Pool) *Service {
+	s := &Service{pool: p, jobs: make(chan *Handle)}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for w := 0; w < workers; w++ {
+		s.workers.Add(1)
+		//simlint:allow goroutine — persistent worker pool running whole (internally deterministic) sims
+		go func() {
+			defer s.workers.Done()
+			for h := range s.jobs {
+				h.finish(s.pool.runWithRetries(h.ctx, h.job))
+			}
+		}()
+	}
+	return s
+}
+
+// Submit hands one job to the service and returns its handle. It blocks
+// until a worker accepts the job; ctx cancellation abandons the
+// submission (the job never ran), and a drained service returns
+// ErrClosed. ctx also becomes the job's base context, so cancelling it
+// later behaves like Handle.Cancel.
+func (s *Service) Submit(ctx context.Context, job Job) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.submitting.Add(1)
+	s.mu.Unlock()
+	defer s.submitting.Done()
+
+	jctx, cancel := context.WithCancel(ctx)
+	h := &Handle{job: job, ctx: jctx, cancel: cancel, done: make(chan struct{})}
+	select {
+	case s.jobs <- h:
+		return h, nil
+	case <-ctx.Done():
+		cancel()
+		return nil, ctx.Err()
+	}
+}
+
+// Drain stops accepting submissions and blocks until every accepted job
+// has finished and all workers have exited. Jobs already handed to a
+// worker run to completion — use Handle.Cancel (or cancel the
+// submission contexts) first for a faster, still-graceful stop. Drain
+// is idempotent.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		// No Submit can pass the closed check anymore; once the stragglers
+		// that already passed it resolve, nobody sends on jobs again.
+		s.submitting.Wait()
+		close(s.jobs)
+	}
+	s.workers.Wait()
+}

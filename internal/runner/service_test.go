@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestServiceRunsSubmittedJobs(t *testing.T) {
+	s := NewService(Pool{Workers: 3})
+	defer s.Drain()
+	var ran atomic.Int64
+	handles := make([]*Handle, 8)
+	for i := range handles {
+		i := i
+		h, err := s.Submit(context.Background(), Job{
+			ID: fmt.Sprintf("job-%d", i),
+			Run: func(context.Context) (interface{}, error) {
+				ran.Add(1)
+				return i * i, nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		r := h.Result()
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Value.(int) != i*i {
+			t.Fatalf("job %d: value = %v, want %d", i, r.Value, i*i)
+		}
+		if r.ID != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("job %d: id = %q", i, r.ID)
+		}
+		if r.Attempts != 1 {
+			t.Fatalf("job %d: attempts = %d", i, r.Attempts)
+		}
+	}
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("ran %d jobs, want 8", got)
+	}
+}
+
+func TestServicePanicIsolation(t *testing.T) {
+	s := NewService(Pool{Workers: 1})
+	defer s.Drain()
+	h, err := s.Submit(context.Background(), Job{ID: "boom",
+		Run: func(context.Context) (interface{}, error) { panic("kaboom") }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Result()
+	var pe *PanicError
+	if !errors.As(r.Err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", r.Err)
+	}
+	// The worker must survive the panic and accept the next job.
+	h2, err := s.Submit(context.Background(), Job{ID: "after",
+		Run: func(context.Context) (interface{}, error) { return "ok", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := h2.Result(); r.Err != nil || r.Value != "ok" {
+		t.Fatalf("job after panic: value=%v err=%v", r.Value, r.Err)
+	}
+}
+
+func TestServiceHandleCancel(t *testing.T) {
+	s := NewService(Pool{Workers: 1})
+	defer s.Drain()
+	started := make(chan struct{})
+	h, err := s.Submit(context.Background(), Job{ID: "cooperative",
+		Run: func(ctx context.Context) (interface{}, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	h.Cancel()
+	if r := h.Result(); !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", r.Err)
+	}
+}
+
+func TestServiceDrain(t *testing.T) {
+	s := NewService(Pool{Workers: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h, err := s.Submit(context.Background(), Job{ID: "slow",
+		Run: func(context.Context) (interface{}, error) {
+			close(started)
+			<-release
+			return "done", nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+	// Drain must wait for the in-flight job, not abandon it.
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a job was still running")
+	default:
+	}
+	close(release)
+	<-drained
+	if r := h.Result(); r.Err != nil || r.Value != "done" {
+		t.Fatalf("in-flight job after drain: value=%v err=%v", r.Value, r.Err)
+	}
+	if _, err := s.Submit(context.Background(), Job{ID: "late",
+		Run: func(context.Context) (interface{}, error) { return nil, nil }}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after drain: err = %v, want ErrClosed", err)
+	}
+	s.Drain() // idempotent
+}
+
+func TestServiceSubmitCtxCancelled(t *testing.T) {
+	s := NewService(Pool{Workers: 1})
+	defer s.Drain()
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	if _, err := s.Submit(context.Background(), Job{ID: "occupier",
+		Run: func(context.Context) (interface{}, error) {
+			close(started)
+			<-block
+			return nil, nil
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// The single worker is busy, so this submission can only rendezvous
+	// after `block` closes; cancelling its context must abandon it first.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Submit(ctx, Job{ID: "abandoned",
+		Run: func(context.Context) (interface{}, error) { return nil, nil }}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Lane is a job's priority class. Interactive submissions (a user
+// waiting on a dashboard) preempt batch backfill at dispatch time; both
+// lanes share one bounded queue so total queued work stays capped.
+type Lane int
+
+const (
+	// LaneInteractive is dispatched first.
+	LaneInteractive Lane = iota
+	// LaneBatch is dispatched when the interactive lane is empty.
+	LaneBatch
+	laneCount
+)
+
+// ParseLane maps the wire names onto lanes. Empty means batch.
+func ParseLane(s string) (Lane, error) {
+	switch s {
+	case "interactive":
+		return LaneInteractive, nil
+	case "", "batch":
+		return LaneBatch, nil
+	}
+	return 0, fmt.Errorf("server: unknown priority %q (want \"interactive\" or \"batch\")", s)
+}
+
+// String returns the wire name.
+func (l Lane) String() string {
+	if l == LaneInteractive {
+		return "interactive"
+	}
+	return "batch"
+}
+
+// errQueueFull is the admission verdict for a saturated queue; the
+// handler maps it to 503 + Retry-After.
+var errQueueFull = fmt.Errorf("server: admission queue full")
+
+// errQueueClosed reports a draining server; no further jobs are accepted.
+var errQueueClosed = fmt.Errorf("server: draining, not accepting jobs")
+
+// queue is the bounded two-lane admission queue between the HTTP
+// handlers and the dispatcher. push is non-blocking (full is an
+// admission failure, not backpressure-by-hanging); pop blocks until a
+// job, close, or context cancellation.
+type queue struct {
+	mu     sync.Mutex
+	wake   chan struct{} // capacity 1; tickled on every push and on close
+	lanes  [laneCount][]*job
+	max    int
+	closed bool
+}
+
+func newQueue(max int) *queue {
+	return &queue{wake: make(chan struct{}, 1), max: max}
+}
+
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.lanes[LaneInteractive]) + len(q.lanes[LaneBatch])
+}
+
+// push enqueues j, or reports full/closed.
+func (q *queue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if len(q.lanes[LaneInteractive])+len(q.lanes[LaneBatch]) >= q.max {
+		return errQueueFull
+	}
+	q.lanes[j.lane] = append(q.lanes[j.lane], j)
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// pop dequeues the next job, interactive lane first, blocking until one
+// is available. ok is false when the queue closed (after it empties) or
+// ctx was cancelled.
+func (q *queue) pop(ctx context.Context) (*job, bool) {
+	for {
+		q.mu.Lock()
+		for lane := Lane(0); lane < laneCount; lane++ {
+			if n := len(q.lanes[lane]); n > 0 {
+				j := q.lanes[lane][0]
+				q.lanes[lane] = q.lanes[lane][1:]
+				q.mu.Unlock()
+				return j, true
+			}
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		select {
+		case <-q.wake:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// close stops admission and returns the jobs still queued so the caller
+// can mark them cancelled. The dispatcher's pop drains to empty and then
+// reports closed.
+func (q *queue) close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	var orphans []*job
+	for lane := Lane(0); lane < laneCount; lane++ {
+		orphans = append(orphans, q.lanes[lane]...)
+		q.lanes[lane] = nil
+	}
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return orphans
+}
+
+// quotas is the per-tenant token-bucket admission layer: each tenant
+// accrues Rate tokens per second up to Burst, and every accepted job
+// spends one. A dry bucket is a 429 with Retry-After telling the client
+// exactly when the next token lands.
+type quotas struct {
+	rate  float64 // tokens per second; <= 0 disables quotas
+	burst float64 // bucket capacity; >= 1 when enabled
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate, burst float64) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: burst, buckets: map[string]*bucket{}}
+}
+
+// take spends one token for tenant at time now. When the bucket is dry
+// it reports false plus the wait until one full token has accrued.
+func (t *quotas) take(tenant string, now time.Time) (bool, time.Duration) {
+	if t.rate <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: t.burst, last: now}
+		t.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(t.burst, b.tokens+dt*t.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / t.rate * float64(time.Second))
+	return false, wait
+}

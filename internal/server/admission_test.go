@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func testJob(id string, lane Lane) *job {
+	return newJob(id, experiments.Spec{Experiment: "fig1a", Seed: experiments.CanonicalSeed},
+		"k-"+id, "anon", lane)
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newQueue(10)
+	for _, j := range []*job{
+		testJob("b1", LaneBatch),
+		testJob("i1", LaneInteractive),
+		testJob("b2", LaneBatch),
+		testJob("i2", LaneInteractive),
+	} {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"i1", "i2", "b1", "b2"}
+	for _, id := range want {
+		j, ok := q.pop(context.Background())
+		if !ok || j.id != id {
+			t.Fatalf("pop = %v,%v, want %s", j, ok, id)
+		}
+	}
+	if got := q.depth(); got != 0 {
+		t.Fatalf("depth = %d after draining", got)
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	q := newQueue(2)
+	if err := q.push(testJob("a", LaneBatch)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(testJob("b", LaneInteractive)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(testJob("c", LaneInteractive)); !errors.Is(err, errQueueFull) {
+		t.Fatalf("push over depth: err = %v, want errQueueFull", err)
+	}
+}
+
+func TestQueueCloseDrainsAndRejects(t *testing.T) {
+	q := newQueue(4)
+	if err := q.push(testJob("a", LaneBatch)); err != nil {
+		t.Fatal(err)
+	}
+	orphans := q.close()
+	if len(orphans) != 1 || orphans[0].id != "a" {
+		t.Fatalf("close orphans = %v", orphans)
+	}
+	if err := q.push(testJob("b", LaneBatch)); !errors.Is(err, errQueueClosed) {
+		t.Fatalf("push after close: err = %v, want errQueueClosed", err)
+	}
+	if j, ok := q.pop(context.Background()); ok {
+		t.Fatalf("pop after close returned %v", j.id)
+	}
+}
+
+func TestQueuePopHonorsContext(t *testing.T) {
+	q := newQueue(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := q.pop(ctx); ok {
+		t.Fatal("pop with cancelled ctx must report !ok")
+	}
+}
+
+func TestQuotaTokenBucket(t *testing.T) {
+	qt := newQuotas(1, 2) // 1 token/sec, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := qt.take("t1", now); !ok {
+			t.Fatalf("take %d within burst rejected", i)
+		}
+	}
+	ok, wait := qt.take("t1", now)
+	if ok {
+		t.Fatal("take past burst must reject")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait = %v, want (0, 1s]", wait)
+	}
+	// Tenants are isolated.
+	if ok, _ := qt.take("t2", now); !ok {
+		t.Fatal("fresh tenant rejected")
+	}
+	// One second accrues one token.
+	if ok, _ := qt.take("t1", now.Add(time.Second)); !ok {
+		t.Fatal("take after refill rejected")
+	}
+	// Rate 0 disables quotas entirely.
+	free := newQuotas(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := free.take("t", now); !ok {
+			t.Fatal("disabled quotas rejected")
+		}
+	}
+}
+
+func TestParseLane(t *testing.T) {
+	for s, want := range map[string]Lane{"": LaneBatch, "batch": LaneBatch, "interactive": LaneInteractive} {
+		got, err := ParseLane(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLane(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLane("vip"); err == nil {
+		t.Fatal("ParseLane must reject unknown lanes")
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"repro/internal/runner"
+)
+
+// Cache is the content-addressed artifact store: one runner.Artifact
+// JSON per key under dir, where the key is experiments.Spec.Key — the
+// SHA-256 of (canonicalized spec, seed, code version). The artifact's
+// own embedded payload checksum is verified on every read, so a
+// corrupted or hand-edited entry degrades to a miss (and is evicted)
+// instead of being served as a result.
+//
+// The cache survives server restarts: keys are pure functions of the
+// request and the code version, so a warm directory keeps serving hits
+// across deploys of the same build.
+type Cache struct {
+	dir string
+}
+
+// keyPattern guards against path-traversal garbage reaching the
+// filesystem: keys are always lowercase hex SHA-256 digests.
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// NewCache opens (creating if needed) the artifact cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: cache dir required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached artifact for key, or (nil, false) on a miss. A
+// stored file that fails to load — unreadable, unparsable, or with a
+// payload that no longer matches its SHA-256 — counts as a miss and is
+// removed so the next Put can heal the entry.
+func (c *Cache) Get(key string) (*runner.Artifact, bool) {
+	if !keyPattern.MatchString(key) {
+		return nil, false
+	}
+	path := c.path(key)
+	if _, err := os.Stat(path); err != nil {
+		return nil, false
+	}
+	a, err := runner.ReadArtifact(path)
+	if err != nil {
+		// Corrupt entry: serving it would hand garbage to every future
+		// requester, so evict and let the simulation re-run.
+		os.Remove(path)
+		return nil, false
+	}
+	return a, true
+}
+
+// Put stores the artifact under key, sealing it with its payload
+// checksum via the shared runner encoding. The write is atomic
+// (temp file + rename) so a crashed server never leaves a torn entry
+// that Get would have to evict.
+func (c *Cache) Put(key string, a *runner.Artifact) error {
+	if !keyPattern.MatchString(key) {
+		return fmt.Errorf("server: cache key %q is not a SHA-256 digest", key)
+	}
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

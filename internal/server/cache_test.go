@@ -1,0 +1,110 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+func testArtifact() *runner.Artifact {
+	return &runner.Artifact{
+		Experiment: "fig1a",
+		Title:      "Ping-pong latency",
+		Meta:       runner.Meta{Quick: true, Seed: experiments.CanonicalSeed},
+		Tables: []runner.Table{{
+			Title:   "Figure 1(a)",
+			Headers: []string{"size", "Elan4 us", "IB us"},
+			Rows:    [][]string{{"0 B", "2.81", "6.25"}},
+		}},
+	}
+}
+
+func testKey() string {
+	return experiments.Spec{Experiment: "fig1a", Quick: true, Seed: experiments.CanonicalSeed}.Key("test")
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	a := testArtifact()
+	if err := c.Put(key, a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("cache miss after put")
+	}
+	if got.Checksum == "" || got.Checksum != a.Checksum {
+		t.Fatalf("checksum = %q, want %q (non-empty)", got.Checksum, a.Checksum)
+	}
+	if got.Tables[0].Rows[0][1] != "2.81" {
+		t.Fatalf("payload mangled: %v", got.Tables[0].Rows)
+	}
+}
+
+// TestCacheCorruptionIsAMiss is the artifact-checksum mismatch path: a
+// stored entry whose payload no longer matches its embedded SHA-256
+// must degrade to a miss (and be evicted) rather than be served.
+func TestCacheCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := c.Put(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a result cell — the JSON stays perfectly parsable, only the
+	// payload no longer matches the recorded SHA-256.
+	corrupted := strings.Replace(string(data), "2.81", "9.99", 1)
+	if corrupted == string(data) {
+		t.Fatal("corruption did not take")
+	}
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := c.Get(key); ok {
+		t.Fatalf("corrupted entry served as a hit: %+v", a)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupted entry not evicted: stat err = %v", err)
+	}
+	// The slot heals on the next Put.
+	if err := c.Put(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("healed entry missed")
+	}
+}
+
+func TestCacheRejectsNonDigestKeys(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "abc", "../../etc/passwd", strings.Repeat("g", 64)} {
+		if err := c.Put(key, testArtifact()); err == nil {
+			t.Fatalf("Put accepted key %q", key)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("Get hit on key %q", key)
+		}
+	}
+}

@@ -1,0 +1,626 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// testServer bundles a Server, its HTTP front end, and its registry.
+type testServer struct {
+	srv *Server
+	ts  *httptest.Server
+	reg *metrics.Registry
+}
+
+func newTestServer(t *testing.T, cfg Config) *testServer {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	if cfg.CodeVersion == "" {
+		cfg.CodeVersion = "test"
+	}
+	reg := metrics.New()
+	cfg.Metrics = reg
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return &testServer{srv: srv, ts: ts, reg: reg}
+}
+
+func (e *testServer) counter(name string) uint64 { return e.reg.Counter(name).Value() }
+
+// post submits a job request and decodes the JobView (when the response
+// carries one) or the error body.
+func (e *testServer) post(t *testing.T, body map[string]interface{}, headers map[string]string) (int, JobView, http.Header) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", e.ts.URL+"/v1/jobs", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := e.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobView
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("bad job view %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, v, resp.Header
+}
+
+func (e *testServer) get(t *testing.T, path string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := e.ts.Client().Get(e.ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	e := newTestServer(t, Config{})
+	status, raw, _ := e.get(t, "/v1/experiments")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var body struct {
+		Experiments []experiments.Info `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	want := experiments.Catalog()
+	if len(body.Experiments) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(body.Experiments), len(want))
+	}
+	found := false
+	for _, e := range body.Experiments {
+		if e.ID == "fig1a" && strings.Contains(e.Title, "latency") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fig1a missing from catalog: %+v", body.Experiments)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := newTestServer(t, Config{})
+	cases := []map[string]interface{}{
+		{"experiment": "nope"},
+		{"experiment": "fig1a", "seed": 7},
+		{"experiment": "fig1a", "priority": "vip"},
+		{"experiment": "fig1a", "bogus_field": true},
+		{},
+	}
+	for _, body := range cases {
+		if status, _, _ := e.post(t, body, nil); status != http.StatusBadRequest {
+			t.Errorf("POST %v: status = %d, want 400", body, status)
+		}
+	}
+}
+
+// TestCacheHitAfterCompletion is the sequential half of the dedup
+// acceptance criterion: the second identical submission arrives after
+// the first completed and must be served from the cache — same SHA-256,
+// cache=hit, no second simulation.
+func TestCacheHitAfterCompletion(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 2, SweepJobs: 2})
+	spec := map[string]interface{}{"experiment": "table2", "quick": true, "wait": true}
+
+	status, first, _ := e.post(t, spec, nil)
+	if status != http.StatusOK {
+		t.Fatalf("first POST: status = %d", status)
+	}
+	if first.Cache != "miss" || first.State != StateDone {
+		t.Fatalf("first POST: cache=%s state=%s, want miss/done", first.Cache, first.State)
+	}
+	if first.Checksum == "" || first.Artifact == nil || first.Artifact.Checksum != first.Checksum {
+		t.Fatalf("first POST: checksum %q, artifact %+v", first.Checksum, first.Artifact)
+	}
+
+	status, second, _ := e.post(t, spec, nil)
+	if status != http.StatusOK {
+		t.Fatalf("second POST: status = %d", status)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("second POST: cache = %q, want hit", second.Cache)
+	}
+	if second.Checksum != first.Checksum {
+		t.Fatalf("second POST: checksum %q != first %q", second.Checksum, first.Checksum)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("second POST joined job %s, want %s", second.ID, first.ID)
+	}
+	if got := e.counter("server.jobs_done"); got != 1 {
+		t.Fatalf("jobs_done = %d, want 1 (second submission must not simulate)", got)
+	}
+	if e.counter("server.cache_hits") != 1 || e.counter("server.jobs_accepted") != 1 {
+		t.Fatalf("counters: hits=%d accepted=%d", e.counter("server.cache_hits"), e.counter("server.jobs_accepted"))
+	}
+}
+
+// TestSingleflightConcurrent is the concurrent half: identical
+// submissions racing each other collapse onto one flight — exactly one
+// reports cache=miss, the rest cache=hit, and one simulation runs.
+func TestSingleflightConcurrent(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 2, SweepJobs: 2})
+	spec := map[string]interface{}{"experiment": "fig1b", "quick": true, "wait": true}
+
+	const n = 4
+	type out struct {
+		status int
+		view   JobView
+	}
+	outs := make([]out, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, v, _ := e.post(t, spec, nil)
+			outs[i] = out{status, v}
+		}()
+	}
+	wg.Wait()
+
+	misses, hits := 0, 0
+	for i, o := range outs {
+		if o.status != http.StatusOK {
+			t.Fatalf("POST %d: status = %d", i, o.status)
+		}
+		if o.view.State != StateDone || o.view.Checksum == "" {
+			t.Fatalf("POST %d: state=%s checksum=%q", i, o.view.State, o.view.Checksum)
+		}
+		if o.view.Checksum != outs[0].view.Checksum || o.view.ID != outs[0].view.ID {
+			t.Fatalf("POST %d diverged: %+v vs %+v", i, o.view, outs[0].view)
+		}
+		switch o.view.Cache {
+		case "miss":
+			misses++
+		case "hit":
+			hits++
+		default:
+			t.Fatalf("POST %d: cache = %q", i, o.view.Cache)
+		}
+	}
+	if misses != 1 || hits != n-1 {
+		t.Fatalf("misses=%d hits=%d, want 1/%d", misses, hits, n-1)
+	}
+	if got := e.counter("server.jobs_done"); got != 1 {
+		t.Fatalf("jobs_done = %d, want exactly 1 simulation for %d submissions", got, n)
+	}
+}
+
+// TestSingleflightJoinWhileQueued covers the dedup-before-execution
+// window: a duplicate of a job still waiting for a worker joins it.
+func TestSingleflightJoinWhileQueued(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 1, SweepJobs: 2, QueueDepth: 8})
+	// Occupy the single worker for ~700ms (xroute quick).
+	if status, _, _ := e.post(t, map[string]interface{}{"experiment": "xroute", "quick": true}, nil); status != http.StatusAccepted {
+		t.Fatalf("occupier: status = %d", status)
+	}
+	status, b, _ := e.post(t, map[string]interface{}{"experiment": "fig1a", "quick": true}, nil)
+	if status != http.StatusAccepted || b.Cache != "miss" {
+		t.Fatalf("B: status=%d cache=%s", status, b.Cache)
+	}
+	status, dup, _ := e.post(t, map[string]interface{}{"experiment": "fig1a", "quick": true}, nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("B-dup: status = %d, want 202 (joined a job still in flight)", status)
+	}
+	if dup.Cache != "hit" || dup.ID != b.ID {
+		t.Fatalf("B-dup: cache=%s id=%s, want hit/%s", dup.Cache, dup.ID, b.ID)
+	}
+	if got := e.counter("server.jobs_deduped"); got != 1 {
+		t.Fatalf("jobs_deduped = %d, want 1", got)
+	}
+	// A waiting duplicate receives the artifact when the flight lands.
+	status, dup2, _ := e.post(t, map[string]interface{}{"experiment": "fig1a", "quick": true, "wait": true}, nil)
+	if status != http.StatusOK || dup2.State != StateDone || dup2.Cache != "hit" {
+		t.Fatalf("B-dup2: status=%d state=%s cache=%s", status, dup2.State, dup2.Cache)
+	}
+	if dup2.Artifact == nil || dup2.Artifact.Checksum != dup2.Checksum {
+		t.Fatalf("B-dup2 artifact: %+v", dup2.Artifact)
+	}
+	if got := e.counter("server.jobs_accepted"); got != 2 {
+		t.Fatalf("jobs_accepted = %d, want 2", got)
+	}
+}
+
+// TestOverloadNeverWedges floods a 1-worker server past its queue depth:
+// the surplus must bounce with 503 + Retry-After, the accepted jobs must
+// all complete, and the pool must keep serving afterwards.
+func TestOverloadNeverWedges(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 1, SweepJobs: 2, QueueDepth: 2})
+	if status, _, _ := e.post(t, map[string]interface{}{"experiment": "xroute", "quick": true}, nil); status != http.StatusAccepted {
+		t.Fatal("occupier rejected")
+	}
+	flood := []string{"table2", "table3", "fig7", "fig1a", "fig1c", "fig1d", "xnoise", "xfault"}
+	accepted, rejected := []string{}, 0
+	for _, exp := range flood {
+		status, _, hdr := e.post(t, map[string]interface{}{"experiment": exp, "quick": true}, nil)
+		switch status {
+		case http.StatusAccepted:
+			accepted = append(accepted, exp)
+		case http.StatusServiceUnavailable:
+			rejected++
+			secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+			if err != nil || secs < 1 {
+				t.Fatalf("503 without usable Retry-After: %q", hdr.Get("Retry-After"))
+			}
+		default:
+			t.Fatalf("POST %s: status = %d", exp, status)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no submission was rejected despite queue depth 2")
+	}
+	if len(accepted) == 0 {
+		t.Fatal("every submission was rejected")
+	}
+	if got := e.counter("server.jobs_rejected_queue"); got != uint64(rejected) {
+		t.Fatalf("jobs_rejected_queue = %d, want %d", got, rejected)
+	}
+	// Every accepted job completes (waiting duplicates join the flights).
+	for _, exp := range accepted {
+		status, v, _ := e.post(t, map[string]interface{}{"experiment": exp, "quick": true, "wait": true}, nil)
+		if status != http.StatusOK || v.State != StateDone {
+			t.Fatalf("join %s: status=%d state=%s", exp, status, v.State)
+		}
+	}
+	// And the pool still takes fresh work.
+	status, v, _ := e.post(t, map[string]interface{}{"experiment": "fig8", "quick": true, "wait": true}, nil)
+	if status != http.StatusOK || v.State != StateDone || v.Cache != "miss" {
+		t.Fatalf("post-overload submission: status=%d state=%s cache=%s", status, v.State, v.Cache)
+	}
+}
+
+func TestQuotaRejectsWith429(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(5000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	e := newTestServer(t, Config{Workers: 2, SweepJobs: 2, QuotaRate: 1, QuotaBurst: 1, Now: clock})
+
+	status, _, _ := e.post(t, map[string]interface{}{"experiment": "table2", "quick": true, "wait": true}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("first: status = %d", status)
+	}
+	status, _, hdr := e.post(t, map[string]interface{}{"experiment": "table3", "quick": true}, nil)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over quota: status = %d, want 429", status)
+	}
+	if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("429 without usable Retry-After: %q", hdr.Get("Retry-After"))
+	}
+	if e.counter("server.jobs_rejected_quota") != 1 {
+		t.Fatal("rejected_quota counter not incremented")
+	}
+	// Cache hits bypass quota: the work already exists.
+	status, v, _ := e.post(t, map[string]interface{}{"experiment": "table2", "quick": true, "wait": true}, nil)
+	if status != http.StatusOK || v.Cache != "hit" {
+		t.Fatalf("hit while dry: status=%d cache=%s", status, v.Cache)
+	}
+	// Tokens accrue with the (injected) clock.
+	mu.Lock()
+	now = now.Add(1100 * time.Millisecond)
+	mu.Unlock()
+	if status, _, _ := e.post(t, map[string]interface{}{"experiment": "table3", "quick": true, "wait": true}, nil); status != http.StatusOK {
+		t.Fatalf("after refill: status = %d", status)
+	}
+	// Tenants are isolated: a different tenant has its own bucket.
+	if status, _, _ := e.post(t, map[string]interface{}{"experiment": "fig7", "quick": true}, map[string]string{"X-Tenant": "other"}); status != http.StatusAccepted {
+		t.Fatal("fresh tenant rejected")
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	typ  string
+	data map[string]interface{}
+}
+
+func parseSSE(t *testing.T, raw []byte) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	for _, block := range strings.Split(strings.TrimSpace(string(raw)), "\n\n") {
+		var ev sseEvent
+		for _, line := range strings.Split(block, "\n") {
+			if v, ok := strings.CutPrefix(line, "event: "); ok {
+				ev.typ = v
+			}
+			if v, ok := strings.CutPrefix(line, "data: "); ok {
+				if err := json.Unmarshal([]byte(v), &ev.data); err != nil {
+					t.Fatalf("bad SSE data %q: %v", v, err)
+				}
+			}
+		}
+		if ev.typ == "" {
+			t.Fatalf("SSE frame without event type: %q", block)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestSSEStream(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 2, SweepJobs: 2})
+	status, v, _ := e.post(t, map[string]interface{}{"experiment": "fig1b", "quick": true, "wait": true}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("POST: status = %d", status)
+	}
+	status, raw, hdr := e.get(t, "/v1/jobs/"+v.ID+"/events")
+	if status != http.StatusOK {
+		t.Fatalf("events: status = %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type = %q", ct)
+	}
+	evs := parseSSE(t, raw)
+	if evs[0].typ != "status" || evs[0].data["state"] != string(StateQueued) {
+		t.Fatalf("first event = %+v, want status/queued", evs[0])
+	}
+	var sawRunning, sawProgress, sawMetrics bool
+	for _, ev := range evs {
+		switch ev.typ {
+		case "status":
+			if ev.data["state"] == string(StateRunning) {
+				sawRunning = true
+			}
+		case "progress":
+			sawProgress = true
+			if ev.data["sweep"] != "fig1b" {
+				t.Fatalf("progress sweep = %v", ev.data["sweep"])
+			}
+			if ev.data["total"].(float64) <= 0 {
+				t.Fatalf("progress total = %v", ev.data["total"])
+			}
+		case "metrics":
+			sawMetrics = true
+		}
+	}
+	if !sawRunning || !sawProgress || !sawMetrics {
+		t.Fatalf("stream missing events: running=%v progress=%v metrics=%v", sawRunning, sawProgress, sawMetrics)
+	}
+	last := evs[len(evs)-1]
+	if last.typ != "status" || last.data["state"] != string(StateDone) {
+		t.Fatalf("last event = %+v, want status/done", last)
+	}
+	if last.data["checksum"] != v.Checksum || last.data["cache"] != "miss" {
+		t.Fatalf("terminal event %+v, want checksum %q cache miss", last.data, v.Checksum)
+	}
+	// Replay is deterministic: a second subscriber sees identical bytes.
+	_, raw2, _ := e.get(t, "/v1/jobs/"+v.ID+"/events")
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("SSE replay differs between subscribers")
+	}
+}
+
+func TestResultEndpointAndCacheHeader(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestServer(t, Config{CacheDir: dir, Workers: 2, SweepJobs: 2})
+	status, v, _ := e.post(t, map[string]interface{}{"experiment": "fig7", "quick": true, "wait": true}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("POST: %d", status)
+	}
+	status, raw, hdr := e.get(t, "/v1/jobs/"+v.ID+"/result")
+	if status != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("result: status=%d X-Cache=%q", status, hdr.Get("X-Cache"))
+	}
+	var a runner.Artifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != v.Checksum || a.Experiment != "fig7" {
+		t.Fatalf("artifact: %+v", a.Meta)
+	}
+
+	// A second server over the same cache directory serves the artifact
+	// from disk: cache hit, zero simulations, X-Cache: hit.
+	e2 := newTestServer(t, Config{CacheDir: dir, Workers: 2, SweepJobs: 2})
+	status, v2, _ := e2.post(t, map[string]interface{}{"experiment": "fig7", "quick": true}, nil)
+	if status != http.StatusOK || v2.Cache != "hit" || v2.Checksum != v.Checksum {
+		t.Fatalf("warm restart: status=%d cache=%s checksum=%s", status, v2.Cache, v2.Checksum)
+	}
+	if e2.counter("server.jobs_done") != 0 {
+		t.Fatal("warm restart ran a simulation")
+	}
+	status, _, hdr = e2.get(t, "/v1/jobs/"+v2.ID+"/result")
+	if status != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("warm result: status=%d X-Cache=%q", status, hdr.Get("X-Cache"))
+	}
+}
+
+// TestCorruptCacheEntryReruns is the end-to-end checksum-mismatch path:
+// a corrupted stored artifact must be detected on re-read, treated as a
+// miss, and the re-run must reproduce the identical checksum.
+func TestCorruptCacheEntryReruns(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestServer(t, Config{CacheDir: dir, Workers: 2, SweepJobs: 2})
+	status, v, _ := e.post(t, map[string]interface{}{"experiment": "table3", "quick": true, "wait": true}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("POST: %d", status)
+	}
+	key := experiments.Spec{Experiment: "table3", Quick: true, Seed: experiments.CanonicalSeed}.Key("test")
+	if key != v.Key {
+		t.Fatalf("key mismatch: computed %s, server used %s", key, v.Key)
+	}
+	path := filepath.Join(dir, key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, bytes.Replace(data, []byte(`"title"`), []byte(`"tilte"`), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newTestServer(t, Config{CacheDir: dir, Workers: 2, SweepJobs: 2})
+	status, v2, _ := e2.post(t, map[string]interface{}{"experiment": "table3", "quick": true, "wait": true}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("resubmit: %d", status)
+	}
+	if v2.Cache != "miss" {
+		t.Fatalf("corrupted entry served as %q, want miss", v2.Cache)
+	}
+	if e2.counter("server.jobs_done") != 1 {
+		t.Fatal("corruption must force a re-run")
+	}
+	if v2.Checksum != v.Checksum {
+		t.Fatalf("re-run checksum %s != original %s", v2.Checksum, v.Checksum)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 1, SweepJobs: 2, QueueDepth: 8})
+	if status, _, _ := e.post(t, map[string]interface{}{"experiment": "xroute", "quick": true}, nil); status != http.StatusAccepted {
+		t.Fatal("occupier rejected")
+	}
+	_, b, _ := e.post(t, map[string]interface{}{"experiment": "fig1a", "quick": true}, nil)
+	req, _ := http.NewRequest("DELETE", e.ts.URL+"/v1/jobs/"+b.ID, nil)
+	resp, err := e.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	status, raw, _ := e.get(t, "/v1/jobs/"+b.ID)
+	if status != http.StatusOK {
+		t.Fatalf("GET after cancel: %d", status)
+	}
+	var view JobView
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", view.State)
+	}
+	// The flight is released: resubmitting schedules fresh work.
+	status, b2, _ := e.post(t, map[string]interface{}{"experiment": "fig1a", "quick": true}, nil)
+	if status != http.StatusAccepted || b2.Cache != "miss" || b2.ID == b.ID {
+		t.Fatalf("resubmit after cancel: status=%d cache=%s id=%s", status, b2.Cache, b2.ID)
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 2, SweepJobs: 2})
+	if status, _, _ := e.post(t, map[string]interface{}{"experiment": "table2", "quick": true, "wait": true}, nil); status != http.StatusOK {
+		t.Fatal("pre-drain submission failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	status, _, _ := e.post(t, map[string]interface{}{"experiment": "table3", "quick": true}, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining: status = %d, want 503", status)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	_, raw, _ := e.get(t, "/v1/healthz")
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "draining" {
+		t.Fatalf("healthz status = %q", health.Status)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 2, SweepJobs: 2})
+	if status, _, _ := e.post(t, map[string]interface{}{"experiment": "table2", "quick": true, "wait": true}, nil); status != http.StatusOK {
+		t.Fatal("submission failed")
+	}
+	status, raw, _ := e.get(t, "/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]uint64{}
+	for _, c := range snap.Counters {
+		found[c.Name] = c.Value
+	}
+	if found["server.jobs_accepted"] != 1 || found["server.jobs_done"] != 1 {
+		t.Fatalf("snapshot counters: %v", found)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	e := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/events"} {
+		if status, _, _ := e.get(t, path); status != http.StatusNotFound {
+			t.Errorf("GET %s: status = %d, want 404", path, status)
+		}
+	}
+}
+
+func TestResultNotFinished(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 1, SweepJobs: 2})
+	if status, _, _ := e.post(t, map[string]interface{}{"experiment": "xroute", "quick": true}, nil); status != http.StatusAccepted {
+		t.Fatal("occupier rejected")
+	}
+	_, b, _ := e.post(t, map[string]interface{}{"experiment": "fig1a", "quick": true}, nil)
+	if status, _, _ := e.get(t, "/v1/jobs/"+b.ID+"/result"); status != http.StatusConflict {
+		t.Fatalf("result of unfinished job: status = %d, want 409", status)
+	}
+}
+
+func ExampleServer() {
+	// Typical client flow against a running simd (addresses elided):
+	//   POST /v1/jobs {"experiment":"fig1a","quick":true}      -> 202 {"id":"job-000001","cache":"miss",...}
+	//   GET  /v1/jobs/job-000001/events                         -> SSE until "status" with state=done
+	//   GET  /v1/jobs/job-000001/result                         -> artifact JSON (X-Cache: miss)
+	//   POST /v1/jobs {"experiment":"fig1a","quick":true}      -> 200 {"cache":"hit",...}, no new simulation
+	fmt.Println("see package documentation")
+	// Output: see package documentation
+}

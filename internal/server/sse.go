@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleEvents streams a job's event history and live tail as
+// Server-Sent Events. The history is replayed from the beginning, so a
+// client that connects after completion receives the same stream a live
+// follower saw; the stream ends (EOF) once the terminal status event
+// has been delivered, and a client disconnect simply stops delivery —
+// the job itself is unaffected.
+//
+// Wire format per event:
+//
+//	event: status | progress | metrics
+//	data: <one JSON object>
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	next := 0
+	for {
+		evs, wake, complete := j.eventsSince(next)
+		for _, e := range evs {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, e.Data); err != nil {
+				return // client went away mid-write
+			}
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+			next += len(evs)
+		}
+		if complete {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

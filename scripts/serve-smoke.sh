@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end smoke test of the simd job server.
+#
+# Starts simd on an ephemeral port with a scratch cache, POSTs a quick
+# fig1a job, follows its SSE stream to completion, asserts the second
+# identical POST is served from the cache with the same checksum, and
+# checks SIGTERM drains cleanly (exit 0). Needs only curl + coreutils.
+set -euo pipefail
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+simd_pid=""
+cleanup() {
+	[ -n "$simd_pid" ] && kill "$simd_pid" 2>/dev/null || true
+	[ -n "$simd_pid" ] && wait "$simd_pid" 2>/dev/null || true
+	rm -rf "$dir"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "serve-smoke: $*" >&2
+	echo "--- simd stderr ---" >&2
+	cat "$dir/stderr" >&2 || true
+	exit 1
+}
+
+$GO build -o "$dir/simd" ./cmd/simd
+"$dir/simd" -addr 127.0.0.1:0 -cache "$dir/cache" >"$dir/stdout" 2>"$dir/stderr" &
+simd_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+	base=$(sed -n 's#^listening on ##p' "$dir/stdout" 2>/dev/null | head -1)
+	[ -n "$base" ] && break
+	kill -0 "$simd_pid" 2>/dev/null || fail "simd exited during startup"
+	sleep 0.1
+done
+[ -n "$base" ] || fail "simd did not report its address"
+
+curl -fsS "$base/v1/experiments" | grep -q '"fig1a"' ||
+	fail "catalog does not list fig1a"
+
+resp=$(curl -fsS -X POST "$base/v1/jobs" -d '{"experiment":"fig1a","quick":true}') ||
+	fail "first POST failed"
+echo "$resp" | grep -Eq '"cache": *"miss"' || fail "first POST not a miss: $resp"
+id=$(echo "$resp" | grep -Eo '"id": *"[^"]+"' | head -1 | grep -Eo 'job-[0-9]+')
+[ -n "$id" ] || fail "no job id in: $resp"
+
+# The SSE stream closes at the terminal event; curl -N returning is
+# itself the completion signal.
+curl -fsSN --max-time 120 "$base/v1/jobs/$id/events" >"$dir/events" ||
+	fail "SSE stream failed"
+grep -q 'event: progress' "$dir/events" || fail "no progress events streamed"
+grep -Eq '"state":"done"' "$dir/events" || fail "stream ended without done status"
+
+status=$(curl -fsS "$base/v1/jobs/$id") || fail "status GET failed"
+sum1=$(echo "$status" | grep -Eo '"checksum": *"[0-9a-f]{64}"' | grep -Eo '[0-9a-f]{64}')
+[ -n "$sum1" ] || fail "finished job has no checksum: $status"
+
+resp2=$(curl -fsS -X POST "$base/v1/jobs" -d '{"experiment":"fig1a","quick":true}') ||
+	fail "second POST failed"
+echo "$resp2" | grep -Eq '"cache": *"hit"' || fail "second POST not a cache hit: $resp2"
+echo "$resp2" | grep -q "$sum1" || fail "cache hit changed the checksum: $resp2"
+
+curl -fsS "$base/v1/jobs/$id/result" -o "$dir/artifact.json" -D "$dir/result-headers" ||
+	fail "result GET failed"
+grep -q "$sum1" "$dir/artifact.json" || fail "artifact checksum mismatch"
+
+kill -TERM "$simd_pid"
+rc=0
+wait "$simd_pid" || rc=$?
+simd_pid=""
+[ "$rc" -eq 0 ] || fail "simd exited $rc on SIGTERM (graceful drain broken)"
+
+echo "serve-smoke: ok (job $id, checksum ${sum1:0:12}…, second POST hit, drain clean)"
