@@ -1,26 +1,32 @@
-# Development targets. `make check` is the tier-1 gate (vet, build,
-# test), the race detector over the packages that own goroutines or
-# shared instruments — internal/sim (process goroutines),
-# internal/metrics (lock-free updates from parallel jobs),
-# internal/runner, and the sweeps that run on them
-# (internal/experiments) — plus simlint, the determinism/invariant
-# static-analysis suite (internal/lint, see DESIGN.md "Determinism
-# invariants").
+# Development targets. `make check` is the tier-1 gate: vet, build,
+# test, the race detector over the whole module, simlint — the
+# determinism/invariant static-analysis suite (internal/lint, see
+# DESIGN.md "Determinism invariants") — and the job-server smoke test.
 
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: check vet build test race lint serve-smoke fix-verify bench bench-baseline bench-compare regen trace-demo chaos
+.PHONY: check vet build test race lint lint-sarif serve-smoke fix-verify bench bench-baseline bench-compare regen trace-demo chaos
 
 check: vet build test race lint serve-smoke
 
 vet:
 	$(GO) vet ./...
 
-# lint runs the simlint suite: wallclock, globalstate, maprange,
-# goroutine, mathrand, errcheck. Exits nonzero on any finding.
+# lint runs the simlint suite — the syntactic checks (wallclock,
+# globalstate, maprange, goroutine, mathrand, errcheck) plus the SSA
+# dataflow rules (shardsafety, timetaint, rngprovenance, floatorder) and
+# stale-allow hygiene. Exits nonzero on any active finding; -stats
+# prints the per-rule tally, including suppressions, on stderr.
 lint:
-	$(GO) run ./cmd/simlint
+	$(GO) run ./cmd/simlint -stats
+
+# lint-sarif emits the same findings as a SARIF 2.1.0 log (simlint.sarif)
+# for code-review tooling; suppressed findings are carried with their
+# allow-state rather than dropped.
+lint-sarif:
+	$(GO) run ./cmd/simlint -format sarif > simlint.sarif || true
+	@echo "wrote simlint.sarif"
 
 # fix-verify regenerates every experiment's artifacts into a scratch
 # directory and diffs them against the checked-in results/, proving that
@@ -53,7 +59,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/fabric/... ./internal/fault/... ./internal/metrics/... ./internal/runner/... ./internal/experiments/... ./internal/server/...
+	$(GO) test -race ./...
 
 # serve-smoke boots the simd job server on an ephemeral port, POSTs a
 # quick fig1a job, follows the SSE stream to completion, asserts the

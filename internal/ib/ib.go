@@ -388,6 +388,7 @@ func (h *HCA) RDMAWrite(p *sim.Proc, peer int, size units.Bytes, imm interface{}
 				func() {
 					// Remote HCA placement processing, then the upcall.
 					remote := h.net.hcas[peer]
+					//simlint:allow shardsafety — delivery runs inside the fabric Send completion: the hop already crossed the link layer, and a parallel kernel reroutes this callback to the owning shard
 					remote.RecvCount++
 					remote.mRecvs.Inc()
 					remote.engine.ServeThen(remote.params.RecvProc, func() {

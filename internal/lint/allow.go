@@ -16,13 +16,23 @@ import (
 // sit on a line of its own directly above it.
 const allowPrefix = "//simlint:allow"
 
-// allowIndex records, per file and line, which checks are suppressed.
+// allowNote is one //simlint:allow annotation, tracked so that
+// annotations which suppress nothing can be reported as stale.
+type allowNote struct {
+	pos    token.Position
+	checks []string
+	used   map[string]bool
+}
+
+// allowIndex records, per file and line, which annotations cover which
+// checks, and which of those annotations actually fired.
 type allowIndex struct {
-	byFile map[string]map[int]map[string]bool
+	byFile map[string]map[int][]*allowNote
+	notes  []*allowNote // in source order
 }
 
 func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
-	idx := &allowIndex{byFile: map[string]map[int]map[string]bool{}}
+	idx := &allowIndex{byFile: map[string]map[int][]*allowNote{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -30,21 +40,19 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 				if len(checks) == 0 {
 					continue
 				}
-				pos := fset.Position(c.Slash)
-				lines := idx.byFile[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					idx.byFile[pos.Filename] = lines
+				note := &allowNote{
+					pos:    fset.Position(c.Slash),
+					checks: checks,
+					used:   map[string]bool{},
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set := lines[line]
-					if set == nil {
-						set = map[string]bool{}
-						lines[line] = set
-					}
-					for _, chk := range checks {
-						set[chk] = true
-					}
+				idx.notes = append(idx.notes, note)
+				lines := idx.byFile[note.pos.Filename]
+				if lines == nil {
+					lines = map[int][]*allowNote{}
+					idx.byFile[note.pos.Filename] = lines
+				}
+				for _, line := range []int{note.pos.Line, note.pos.Line + 1} {
+					lines[line] = append(lines[line], note)
 				}
 			}
 		}
@@ -80,11 +88,17 @@ func parseAllow(text string) []string {
 	return checks
 }
 
+// allowed reports whether an annotation covers the check at the given
+// line, marking every annotation entry that fires as used.
 func (idx *allowIndex) allowed(filename string, line int, check string) bool {
-	lines := idx.byFile[filename]
-	if lines == nil {
-		return false
+	hit := false
+	for _, note := range idx.byFile[filename][line] {
+		for _, chk := range note.checks {
+			if chk == check || chk == "all" {
+				note.used[chk] = true
+				hit = true
+			}
+		}
 	}
-	set := lines[line]
-	return set[check] || set["all"]
+	return hit
 }

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Baseline is the ratchet file: a snapshot of accepted findings. A
+// finding is matched by (rule, file, message) with a count — line
+// numbers are deliberately excluded so unrelated edits above a finding
+// do not invalidate the baseline, while a *new* finding of the same
+// shape in the same file still trips the gate once the count is
+// exceeded. The ratchet only tightens: stale entries (accepted findings
+// that no longer occur) are reported by Filter so they can be removed.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding shape.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+const baselineVersion = 1
+
+func baselineKey(rule, file, message string) string {
+	return rule + "\x00" + file + "\x00" + message
+}
+
+// NewBaseline snapshots the given diagnostics (callers pass the active
+// set) as a ratchet file.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range diags {
+		k := baselineKey(d.Analyzer, d.Pos.Filename, d.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{Rule: d.Analyzer, File: d.Pos.Filename, Message: d.Message, Count: 1}
+	}
+	b := &Baseline{Version: baselineVersion}
+	for _, e := range counts {
+		b.Findings = append(b.Findings, *e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// ParseBaseline decodes a ratchet file.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline version %d not supported (want %d)", b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Marshal renders the baseline deterministically for writing to disk.
+func (b *Baseline) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Filter splits diags into the findings not covered by the baseline
+// (new — these gate) and the indices of covered ones (for SARIF
+// suppression records). It also returns the stale baseline entries that
+// matched nothing, so the ratchet can be tightened.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, covered map[int]bool, stale []BaselineEntry) {
+	remaining := map[string]int{}
+	for _, e := range b.Findings {
+		remaining[baselineKey(e.Rule, e.File, e.Message)] += e.Count
+	}
+	covered = map[int]bool{}
+	for i, d := range diags {
+		if d.Suppressed {
+			continue // already suppressed in source; consumes no ratchet budget
+		}
+		k := baselineKey(d.Analyzer, d.Pos.Filename, d.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			covered[i] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Findings {
+		if n := remaining[baselineKey(e.Rule, e.File, e.Message)]; n > 0 {
+			se := e
+			se.Count = n
+			stale = append(stale, se)
+			remaining[baselineKey(e.Rule, e.File, e.Message)] = 0
+		}
+	}
+	return fresh, covered, stale
+}

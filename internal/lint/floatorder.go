@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/ssa"
+)
+
+// FloatOrderAnalyzer extends maprange's float-accumulation rule from map
+// iteration order to the other nondeterministic orders in the codebase:
+// channel receive order (whichever worker finishes first delivers first)
+// and goroutine completion order (a closure accumulating into captured
+// state from a spawned goroutine or a per-completion callback). Float
+// addition is not associative, so any such reduction makes the final
+// bits depend on scheduling.
+var FloatOrderAnalyzer = &Analyzer{
+	Name: "floatorder",
+	Doc: "flags floating-point reductions whose operand order depends on scheduling: accumulating " +
+		"channel receives in a loop, or accumulating into captured state from a spawned goroutine " +
+		"or a completion callback. Accumulate into an index-addressed slot and reduce in a fixed " +
+		"order instead.",
+	Run: runFloatOrder,
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func runFloatOrder(pass *Pass) {
+	callbacks := parseFieldSpecs(pass.Cfg.CompletionCallbacks)
+	funcs := pass.SSA()
+
+	// Taint every channel-delivered value; a float accumulation folding
+	// one in has receive-ordered operands.
+	recvTaint := ssa.Propagate(funcs, func(v *ssa.Value) bool {
+		switch v.Op {
+		case ssa.OpRecv:
+			return true
+		case ssa.OpRangeKey, ssa.OpRangeVal:
+			return v.RangeChan
+		}
+		return false
+	}, nil)
+
+	// concurrent collects closures whose execution order is scheduling-
+	// dependent: go-spawned, or assigned to a completion callback field.
+	concurrent := map[*ssa.Func]string{}
+	for _, f := range funcs {
+		f.Tree(func(fn *ssa.Func) {
+			fn.AllValues(func(v *ssa.Value) {
+				switch v.Op {
+				case ssa.OpCall:
+					if !v.GoCall {
+						return
+					}
+					for _, a := range v.Args {
+						if a.Op == ssa.OpClosure && a.Lambda != nil {
+							concurrent[a.Lambda] = "a spawned goroutine"
+						}
+					}
+				case ssa.OpStore:
+					val := arg(v, 1)
+					if val == nil || val.Op != ssa.OpClosure || val.Lambda == nil {
+						return
+					}
+					if matchesFieldSpec(arg(v, 0), callbacks) {
+						concurrent[val.Lambda] = "a completion callback"
+					}
+				}
+			})
+		})
+	}
+
+	// readsCell reports whether the value tree folds in a load of the
+	// given cell: the read half of a read-modify-write accumulation.
+	var readsCell func(v *ssa.Value, cell types.Object, seen map[*ssa.Value]bool) bool
+	readsCell = func(v *ssa.Value, cell types.Object, seen map[*ssa.Value]bool) bool {
+		if v == nil || seen[v] {
+			return false
+		}
+		seen[v] = true
+		if v.Op == ssa.OpLoad {
+			if _, root := ssa.PathKeys(v); root == cell {
+				return true
+			}
+		}
+		for _, a := range v.Args {
+			if readsCell(a, cell, seen) {
+				return true
+			}
+		}
+		return false
+	}
+
+	isAccum := func(v *ssa.Value) bool {
+		if v.Op != ssa.OpBin || !isFloatType(v.Type) {
+			return false
+		}
+		switch v.Tok {
+		case token.ADD, token.SUB, token.MUL:
+			return true
+		}
+		return false
+	}
+
+	for _, f := range funcs {
+		f.Tree(func(fn *ssa.Func) {
+			why, isConcurrent := concurrent[fn]
+			litStart, litEnd := token.NoPos, token.NoPos
+			if fn.Lit != nil {
+				litStart, litEnd = fn.Lit.Pos(), fn.Lit.End()
+			}
+			fn.AllValues(func(v *ssa.Value) {
+				// Rule 1: float accumulation of a channel-delivered value
+				// inside a loop — receive order decides operand order.
+				if isAccum(v) && v.Loop > 0 {
+					for _, a := range v.Args {
+						if recvTaint.Value(a) {
+							pass.Reportf(v.Pos, "float accumulation ordered by channel receive order: reduce in a fixed order instead")
+							return
+						}
+					}
+				}
+				// Rule 2: read-modify-write float accumulation into a
+				// variable captured from outside a concurrently-executed
+				// closure — completion order decides operand order.
+				if !isConcurrent || v.Op != ssa.OpStore {
+					return
+				}
+				val := arg(v, 1)
+				if val == nil || !isAccum(val) {
+					return
+				}
+				_, cell := ssa.PathKeys(arg(v, 0))
+				if cell == nil || (cell.Pos() >= litStart && cell.Pos() < litEnd) {
+					return // the closure's own local
+				}
+				if readsCell(val, cell, map[*ssa.Value]bool{}) {
+					pass.Reportf(v.Pos, "float reduction ordered by goroutine completion: %s accumulates into captured state", why)
+				}
+			})
+		})
+	}
+}

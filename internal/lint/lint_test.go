@@ -22,12 +22,25 @@ type expectation struct {
 // testConfig is the analyzer configuration used over testdata packages:
 // the sink subpackage plays fabric/metrics/report, sanctioned.go plays
 // internal/sim/proc.go, and the module prefix matches the testdata tree.
+// The v2 dataflow rules bind to conventional names (Node, Engine,
+// Result, Pool, unitsx, rngx, fabricx) under the same prefix.
 func testConfig(pkgPath string) Config {
 	return Config{
 		ModulePath:   pkgPath,
 		EmitPkgPaths: []string{pkgPath + "/sink"},
-		RandPkgPath:  "",
+		RandPkgPath:  pkgPath + "/rngx",
 		SpawnSites:   map[string]bool{pkgPath + ":sanctioned.go": true},
+
+		NodeStateTypes: []string{pkgPath + ".Node"},
+		LinkLayerPkgs:  []string{pkgPath + "/fabricx"},
+		TimeSinkCalls: []string{
+			"(*" + pkgPath + ".Engine).After",
+			"(*" + pkgPath + ".Engine).At",
+		},
+		TimePayloadTypes:    []string{pkgPath + ".Result"},
+		TimeSinkPkgs:        []string{pkgPath + "/sink"},
+		SimTimePkg:          pkgPath + "/unitsx",
+		CompletionCallbacks: []string{"(" + pkgPath + ".Pool).OnResult"},
 	}
 }
 
@@ -81,7 +94,7 @@ func runTestdata(t *testing.T, a *Analyzer, pkgPath string) {
 		t.Fatalf("testdata package %q has no `// want` expectations", pkgPath)
 	}
 
-	diags := Run([]*Package{pkg}, []*Analyzer{a}, testConfig(pkgPath), nil)
+	diags := Active(Run([]*Package{pkg}, []*Analyzer{a}, testConfig(pkgPath), nil))
 	for _, d := range diags {
 		hit := false
 		for _, w := range wants {
@@ -101,12 +114,92 @@ func runTestdata(t *testing.T, a *Analyzer, pkgPath string) {
 	}
 }
 
-func TestWallclock(t *testing.T)   { runTestdata(t, WallclockAnalyzer, "wallclock") }
-func TestGlobalState(t *testing.T) { runTestdata(t, GlobalStateAnalyzer, "globalstate") }
-func TestMapRange(t *testing.T)    { runTestdata(t, MapRangeAnalyzer, "maprange") }
-func TestGoroutine(t *testing.T)   { runTestdata(t, GoroutineAnalyzer, "goroutine") }
-func TestMathRand(t *testing.T)    { runTestdata(t, MathRandAnalyzer, "mathrand") }
-func TestErrcheck(t *testing.T)    { runTestdata(t, ErrcheckAnalyzer, "errcheck") }
+func TestWallclock(t *testing.T)     { runTestdata(t, WallclockAnalyzer, "wallclock") }
+func TestGlobalState(t *testing.T)   { runTestdata(t, GlobalStateAnalyzer, "globalstate") }
+func TestMapRange(t *testing.T)      { runTestdata(t, MapRangeAnalyzer, "maprange") }
+func TestGoroutine(t *testing.T)     { runTestdata(t, GoroutineAnalyzer, "goroutine") }
+func TestMathRand(t *testing.T)      { runTestdata(t, MathRandAnalyzer, "mathrand") }
+func TestErrcheck(t *testing.T)      { runTestdata(t, ErrcheckAnalyzer, "errcheck") }
+func TestShardSafety(t *testing.T)   { runTestdata(t, ShardSafetyAnalyzer, "shardsafety") }
+func TestTimeTaint(t *testing.T)     { runTestdata(t, TimeTaintAnalyzer, "timetaint") }
+func TestRNGProvenance(t *testing.T) { runTestdata(t, RNGProvenanceAnalyzer, "rngprovenance") }
+func TestFloatOrder(t *testing.T)    { runTestdata(t, FloatOrderAnalyzer, "floatorder") }
+func TestAllowGrammar(t *testing.T)  { runTestdata(t, WallclockAnalyzer, "allowgrammar") }
+
+// TestShardSafetyLinkLayerExempt checks the escape valve: the fabric
+// link layer package may write any node's state.
+func TestShardSafetyLinkLayerExempt(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "shardsafety"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader("unused.example/none", filepath.Join(dir, "no-such-module-root"))
+	l.Overlay = map[string]string{"shardsafety": dir}
+	pkg, err := l.Load("shardsafety/fabricx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Active(Run([]*Package{pkg}, []*Analyzer{ShardSafetyAnalyzer}, testConfig("shardsafety"), nil))
+	if len(diags) != 0 {
+		t.Errorf("link layer package still flagged: %v", diags)
+	}
+}
+
+// TestSuppressedRetained pins the v2 reporting contract: an allowed
+// finding is carried with Suppressed set rather than dropped, so
+// machine-readable output can state the allow-state.
+func TestSuppressedRetained(t *testing.T) {
+	pkg := loadTestdata(t, "allowgrammar")
+	diags := Run([]*Package{pkg}, []*Analyzer{WallclockAnalyzer}, testConfig("allowgrammar"), nil)
+	var suppressed, active int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		} else {
+			active++
+		}
+	}
+	if suppressed != 2 || active != 1 {
+		t.Errorf("got %d suppressed / %d active findings, want 2 / 1: %v", suppressed, active, diags)
+	}
+}
+
+// TestStaleAllow exercises the annotation-hygiene epilogue directly:
+// stale entries, unknown names, the "all" wildcard, and the rule that
+// only checks in the active set are judged.
+func TestStaleAllow(t *testing.T) {
+	pkg := loadTestdata(t, "staleallow")
+	cfg := testConfig("staleallow")
+	cfg.ReportStaleAllows = true
+	diags := Active(Run([]*Package{pkg}, []*Analyzer{WallclockAnalyzer, StaleAllowAnalyzer}, cfg, nil))
+	var got []string
+	for _, d := range diags {
+		if d.Analyzer != "staleallow" {
+			t.Errorf("unexpected non-staleallow diagnostic: %s", d)
+			continue
+		}
+		got = append(got, d.Message)
+	}
+	want := []string{
+		`stale //simlint:allow wallclock: the check reports nothing here`,
+		`unknown check "wallclocks" in //simlint:allow annotation`,
+		`stale //simlint:allow all: no check reports anything here`,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("staleallow diagnostics = %q, want %q", got, want)
+	}
+}
+
+// TestStaleAllowOff pins that the epilogue is opt-in: with
+// ReportStaleAllows unset the same package produces no hygiene
+// diagnostics.
+func TestStaleAllowOff(t *testing.T) {
+	pkg := loadTestdata(t, "staleallow")
+	diags := Active(Run([]*Package{pkg}, []*Analyzer{WallclockAnalyzer, StaleAllowAnalyzer}, testConfig("staleallow"), nil))
+	if len(diags) != 0 {
+		t.Errorf("ReportStaleAllows=false still produced %v", diags)
+	}
+}
 
 // TestMathRandSanctionedPackage checks the one escape valve: the
 // configured RNG wrapper package may import math/rand.
@@ -120,18 +213,21 @@ func TestMathRandSanctionedPackage(t *testing.T) {
 }
 
 // TestRepoTreeIsClean is the meta-test: the full suite, under the real
-// repository policy, finds nothing in the real tree. Any invariant
-// violation introduced anywhere in the module fails this test.
+// repository policy, finds nothing active in the real tree (suppressed
+// findings are carried for machine-readable output but do not gate).
+// Any invariant violation — or stale allow annotation — introduced
+// anywhere in the module fails this test.
 func TestRepoTreeIsClean(t *testing.T) {
 	diags, err := LintModule(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range diags {
+	active := Active(diags)
+	for _, d := range active {
 		t.Errorf("%s", d)
 	}
-	if len(diags) > 0 {
-		t.Errorf("simlint found %d violation(s) in the repository tree", len(diags))
+	if len(active) > 0 {
+		t.Errorf("simlint found %d violation(s) in the repository tree", len(active))
 	}
 }
 
@@ -146,8 +242,9 @@ func TestPolicy(t *testing.T) {
 		}
 		return out
 	}
-	all := []string{"wallclock", "globalstate", "maprange", "goroutine", "mathrand", "errcheck"}
-	hygiene := []string{"mathrand", "errcheck"}
+	all := []string{"wallclock", "globalstate", "maprange", "goroutine", "mathrand", "errcheck",
+		"shardsafety", "timetaint", "rngprovenance", "floatorder", "staleallow"}
+	hygiene := []string{"mathrand", "errcheck", "staleallow"}
 	cases := []struct {
 		pkg  string
 		want []string

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"repro/internal/lint/ssa"
+)
+
+// RNGProvenanceAnalyzer checks that every randomness stream derives from
+// a run-level seed and that no two derivations collide. The repository's
+// splittable RNG makes stream construction explicit (rng.New(key)), so
+// the seed expression's provenance is checkable: a key built from
+// constants alone reseeds identically on every run regardless of the
+// configured seed, two structurally identical keys alias the same
+// stream, and a loop-invariant key hands every iteration the same
+// sequence.
+var RNGProvenanceAnalyzer = &Analyzer{
+	Name: "rngprovenance",
+	Doc: "verifies rng stream derivations trace to a seed parameter: flags rng.New keys built from " +
+		"constants only, structurally identical keys derived twice in one function (stream " +
+		"collision), and loop-invariant keys that hand every iteration the same stream.",
+	Run: runRNGProvenance,
+}
+
+func runRNGProvenance(pass *Pass) {
+	cfg := pass.Cfg
+	if cfg.RandPkgPath == "" {
+		return
+	}
+	newFull := cfg.RandPkgPath + ".New"
+
+	// loopVariant reports whether the key expression can change between
+	// iterations of the loop the call sits in: some leaf of its value
+	// tree (reached through pure ops, loads, and calls) is produced at
+	// the call's loop depth or deeper.
+	var loopVariant func(v *ssa.Value, depth int, seen map[*ssa.Value]bool) bool
+	loopVariant = func(v *ssa.Value, depth int, seen map[*ssa.Value]bool) bool {
+		if v == nil || seen[v] {
+			return false
+		}
+		seen[v] = true
+		switch v.Op {
+		case ssa.OpPhi, ssa.OpRangeKey, ssa.OpRangeVal, ssa.OpRecv, ssa.OpUnknown,
+			ssa.OpCall, ssa.OpExtract:
+			return v.Loop >= depth
+		case ssa.OpConst, ssa.OpParam, ssa.OpGlobal, ssa.OpCell, ssa.OpClosure:
+			return false
+		default:
+			for _, a := range v.Args {
+				if loopVariant(a, depth, seen) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	for _, f := range pass.SSA() {
+		type derivation struct {
+			call *ssa.Value
+			key  *ssa.Value
+		}
+		var derivs []derivation
+		f.Tree(func(fn *ssa.Func) {
+			fn.AllValues(func(v *ssa.Value) {
+				if v.Op != ssa.OpCall || ssaCalleeFullName(v) != newFull || len(v.Args) == 0 {
+					return
+				}
+				derivs = append(derivs, derivation{call: v, key: v.Args[0]})
+			})
+		})
+		for i, d := range derivs {
+			constOnly := true
+			ssa.Leaves(d.key, func(leaf *ssa.Value) {
+				if leaf.Op != ssa.OpConst {
+					constOnly = false
+				}
+			})
+			if constOnly {
+				pass.Reportf(d.call.Pos, "rng stream seeded from constants only: derive the key from the run's seed parameter")
+				continue
+			}
+			if d.call.Loop > 0 && !loopVariant(d.key, d.call.Loop, map[*ssa.Value]bool{}) {
+				pass.Reportf(d.call.Pos, "rng stream key does not vary across loop iterations: every iteration derives the same stream")
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if ssa.Equal(derivs[j].key, d.key) {
+					pos := pass.Fset.Position(derivs[j].call.Pos)
+					pass.Reportf(d.call.Pos, "rng stream derives the same key as the derivation at line %d: colliding streams share one sequence", pos.Line)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF rendering: the minimal static-analysis interchange subset that
+// code-review tooling consumes — one run, one driver, a rule table, and
+// one result per diagnostic. Suppressed findings are carried with a
+// suppression record rather than dropped, so a viewer can distinguish
+// "annotated away in source" from "clean".
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// SuppressionKind values for Diagnostic→SARIF conversion.
+const (
+	// SuppressedInSource marks a finding covered by an //simlint:allow
+	// annotation next to the code.
+	SuppressedInSource = "inSource"
+	// SuppressedExternal marks a finding accepted by the baseline
+	// ratchet file.
+	SuppressedExternal = "external"
+)
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. baselined marks the
+// diagnostics (by index into diags) accepted by a ratchet file; they are
+// emitted with an "external" suppression. Pass nil when no baseline is
+// in play.
+func SARIF(diags []Diagnostic, baselined map[int]bool) ([]byte, error) {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	for _, a := range DefaultAnalyzers() {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for i, d := range diags {
+		r := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     "error",
+			Message:   sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+		switch {
+		case d.Suppressed:
+			r.Level = "note"
+			r.Suppressions = []sarifSuppression{{Kind: SuppressedInSource, Justification: "//simlint:allow annotation"}}
+		case baselined != nil && baselined[i]:
+			r.Level = "note"
+			r.Suppressions = []sarifSuppression{{Kind: SuppressedExternal, Justification: "accepted by baseline"}}
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "simlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

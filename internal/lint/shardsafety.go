@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/types"
+
+	"repro/internal/lint/ssa"
+)
+
+// ShardSafetyAnalyzer is the standing gate for the parallel simulation
+// kernel: state owned by one node may only be mutated by another node
+// through the fabric link layer. It identifies values of the configured
+// node-state types that were *looked up* — fetched out of a collection
+// or hopped to through another node's pointer field — and flags any
+// store through such a handle. A node mutating itself (through its
+// receiver or parameters) and a constructor wiring up nodes it just
+// built are both owned writes.
+var ShardSafetyAnalyzer = &Analyzer{
+	Name: "shardsafety",
+	Doc: "flags writes to per-node simulator state reached through a collection lookup or a " +
+		"node-to-node pointer hop: cross-node effects must flow through the fabric link layer " +
+		"(a message with a delivery time), never a direct store, or a parallel kernel cannot " +
+		"shard nodes without races.",
+	Run: runShardSafety,
+}
+
+func runShardSafety(pass *Pass) {
+	cfg := pass.Cfg
+	for _, p := range cfg.LinkLayerPkgs {
+		if pass.Pkg.Path() == p {
+			return // the link layer itself is the sanctioned channel
+		}
+	}
+	nodeTypes := stringSet(cfg.NodeStateTypes)
+	isNodeState := func(t types.Type) bool {
+		return t != nil && nodeTypes[qualifiedTypeName(t)]
+	}
+
+	// foreignHop reports whether v produces a node-state handle by
+	// looking it up rather than receiving it: an element access into a
+	// container of nodes, an iteration over one, or a pointer hop
+	// through another node-state value's field.
+	foreignHop := func(v *ssa.Value) bool {
+		if !isNodeState(v.Type) && !isNodeState(addrType(v)) {
+			return false
+		}
+		switch v.Op {
+		case ssa.OpLoad:
+			a := arg(v, 0)
+			if a == nil {
+				return false
+			}
+			switch a.Op {
+			case ssa.OpIndexAddr:
+				return true // nodes[i], hcas[peer], ranks[dst]
+			case ssa.OpFieldAddr:
+				// A hop from one node-state value to another through a
+				// pointer field (h.peer, r.node). Plain composition
+				// fields of non-node containers don't count.
+				return nodeTypes[fieldOwnerName(a)]
+			}
+		case ssa.OpIndexAddr:
+			return true // &nodes[i] / by-value element address
+		case ssa.OpRangeKey, ssa.OpRangeVal:
+			return true // for _, node := range nodes
+		}
+		return false
+	}
+
+	// locallyBuilt reports whether the path bottoms out in a value this
+	// function constructed itself: a constructor wiring the nodes it
+	// just allocated owns all of them.
+	locallyBuilt := func(v *ssa.Value) bool {
+		for {
+			root := ssa.Root(v)
+			switch root.Op {
+			case ssa.OpComposite:
+				return true
+			case ssa.OpCall:
+				b, ok := root.Callee.(*types.Builtin)
+				return ok && (b.Name() == "make" || b.Name() == "new")
+			case ssa.OpRangeKey, ssa.OpRangeVal:
+				if a := arg(root, 0); a != nil {
+					v = a
+					continue
+				}
+				return false
+			default:
+				return false
+			}
+		}
+	}
+
+	for _, f := range pass.SSA() {
+		// cellDefs resolves demoted locals: a captured variable holding a
+		// looked-up node is accessed through its cell, so the path walk
+		// must continue through the values stored into that cell.
+		cellDefs := map[types.Object][]*ssa.Value{}
+		f.Tree(func(fn *ssa.Func) {
+			fn.AllValues(func(v *ssa.Value) {
+				if v.Op == ssa.OpStore && len(v.Args) == 2 && v.Args[0].Op == ssa.OpCell && v.Args[0].Var != nil {
+					cellDefs[v.Args[0].Var] = append(cellDefs[v.Args[0].Var], v.Args[1])
+				}
+			})
+		})
+
+		// foreignSource walks an address path (through cells and phis)
+		// and returns the foreign hop it is rooted in, if any. A hop to
+		// locally built state terminates the path as owned.
+		var foreignSource func(v *ssa.Value, seen map[*ssa.Value]bool) *ssa.Value
+		foreignSource = func(v *ssa.Value, seen map[*ssa.Value]bool) *ssa.Value {
+			for v != nil && !seen[v] {
+				seen[v] = true
+				if foreignHop(v) {
+					if locallyBuilt(v) {
+						return nil
+					}
+					return v
+				}
+				switch v.Op {
+				case ssa.OpFieldAddr, ssa.OpIndexAddr, ssa.OpLoad, ssa.OpConvert, ssa.OpUn:
+					v = arg(v, 0)
+				case ssa.OpCell:
+					if v.Var == nil {
+						return nil
+					}
+					for _, def := range cellDefs[v.Var] {
+						if hop := foreignSource(def, seen); hop != nil {
+							return hop
+						}
+					}
+					return nil
+				case ssa.OpPhi:
+					for _, a := range v.Args {
+						if hop := foreignSource(a, seen); hop != nil {
+							return hop
+						}
+					}
+					return nil
+				default:
+					return nil
+				}
+			}
+			return nil
+		}
+
+		f.Tree(func(fn *ssa.Func) {
+			fn.AllValues(func(v *ssa.Value) {
+				if v.Op != ssa.OpStore {
+					return
+				}
+				start := arg(v, 0)
+				if start == nil {
+					return
+				}
+				switch start.Op {
+				case ssa.OpCell, ssa.OpParam, ssa.OpGlobal:
+					// Rebinding a local/global variable (remote := ...,
+					// r := r) stores a handle, it does not write node
+					// state through one.
+					return
+				case ssa.OpIndexAddr:
+					// A store whose direct address is the element slot
+					// (n.nodes[i] = &Node{...}) installs a node into a
+					// collection — an ownership handoff, not a write to a
+					// looked-up node's state — so the walk starts below it.
+					start = arg(start, 0)
+				}
+				hop := foreignSource(start, map[*ssa.Value]bool{})
+				if hop == nil {
+					return
+				}
+				tn := qualifiedTypeName(hop.Type)
+				if tn == "" {
+					tn = qualifiedTypeName(addrType(hop))
+				}
+				pass.Reportf(v.Pos, "write to %s state owned by another node: cross-node effects must flow through the fabric link layer", tn)
+			})
+		})
+	}
+}

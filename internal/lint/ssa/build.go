@@ -1,0 +1,1267 @@
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BuildPackage lowers every declared function of the package's files.
+// Function literals become child Funcs reachable via Anons/Tree.
+func BuildPackage(files []*ast.File, info *types.Info, pkg *types.Package) []*Func {
+	var out []*Func
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, BuildFunc(info, pkg, fd))
+		}
+	}
+	return out
+}
+
+// BuildFunc lowers one declared function or method.
+func BuildFunc(info *types.Info, pkg *types.Package, decl *ast.FuncDecl) *Func {
+	b := &builder{info: info, pkg: pkg, demoted: map[types.Object]bool{}}
+	b.prepass(decl)
+	return b.buildFunc(funcName(info, decl), decl, nil, nil, decl.Body)
+}
+
+// builder carries state shared across one top-level function tree.
+type builder struct {
+	info *types.Info
+	pkg  *types.Package
+	// demoted holds locals that cannot be pure SSA values: captured by a
+	// nested literal, address-taken, or written through a selector/index
+	// (including implicit &x of pointer-method calls on struct locals).
+	demoted map[types.Object]bool
+	nextID  int
+}
+
+// prepass walks the whole function tree once to decide which locals are
+// demoted to memory cells.
+func (b *builder) prepass(root *ast.FuncDecl) {
+	// declDepth: function-literal nesting depth at which each local is
+	// declared, to detect capture (use at a deeper depth).
+	declDepth := map[types.Object]int{}
+	depth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			depth++
+			ast.Inspect(n.Body, walk)
+			depth--
+			return false
+		case *ast.Ident:
+			if obj := b.info.Defs[n]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					declDepth[obj] = depth
+				}
+			}
+			if obj := b.info.Uses[n]; obj != nil {
+				if d, local := declDepth[obj]; local && depth > d {
+					b.demoted[obj] = true // captured by a nested literal
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				b.demoteRoot(n.X)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain {
+					b.demoteRoot(lhs) // partial (field/element) write
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, plain := ast.Unparen(n.X).(*ast.Ident); !plain {
+				b.demoteRoot(n.X)
+			}
+		case *ast.SelectorExpr:
+			// A method selection on an addressable local may implicitly
+			// take its address (pointer-receiver method on a value).
+			if sel, ok := b.info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				b.demoteRoot(n.X)
+			}
+		}
+		return true
+	}
+	// Receiver and parameters get depth 0 before the body walk.
+	if root.Recv != nil {
+		for _, f := range root.Recv.List {
+			for _, name := range f.Names {
+				if obj := b.info.Defs[name]; obj != nil {
+					declDepth[obj] = 0
+				}
+			}
+		}
+	}
+	for _, f := range root.Type.Params.List {
+		for _, name := range f.Names {
+			if obj := b.info.Defs[name]; obj != nil {
+				declDepth[obj] = 0
+			}
+		}
+	}
+	ast.Inspect(root.Body, walk)
+}
+
+// demoteRoot demotes the base local of a selector/index/star chain.
+func (b *builder) demoteRoot(expr ast.Expr) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := b.info.Uses[e]
+			if obj == nil {
+				obj = b.info.Defs[e]
+			}
+			if v, ok := obj.(*types.Var); ok && !isPackageLevel(v) {
+				b.demoted[obj] = true
+			}
+			return
+		case *ast.SelectorExpr:
+			// Through a pointer field the base itself is not written.
+			if t := b.info.TypeOf(e.X); t != nil {
+				if _, ptr := t.Underlying().(*types.Pointer); ptr {
+					return
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			if t := b.info.TypeOf(e.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Pointer:
+					return // element storage is not the local itself
+				}
+			}
+			expr = e.X
+		case *ast.StarExpr:
+			return // *p writes the pointee, not p
+		default:
+			return
+		}
+	}
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// funcName renders a declared function for diagnostics.
+func funcName(info *types.Info, decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	return fmt.Sprintf("(%s).%s", types.ExprString(decl.Recv.List[0].Type), decl.Name.Name)
+}
+
+// branchTarget is one entry of the break/continue resolution stack.
+type branchTarget struct {
+	label     string
+	brk, cont *Block // cont nil for switch/select
+	isLoop    bool
+}
+
+// funcBuilder lowers one function body (declared or literal).
+type funcBuilder struct {
+	b   *builder
+	f   *Func
+	cur *Block
+
+	defs       map[*Block]map[types.Object]*Value
+	incomplete map[*Block][]*Value // unfinished phis of unsealed blocks
+	sealedSet  map[*Block]bool
+
+	targets      []*branchTarget
+	fallTarget   *Block // fallthrough destination inside a switch clause
+	loopDepth    int
+	pendingLabel string
+}
+
+func (b *builder) buildFunc(name string, decl *ast.FuncDecl, lit *ast.FuncLit, parent *Func, body *ast.BlockStmt) *Func {
+	f := &Func{Name: name, Decl: decl, Lit: lit, Parent: parent}
+	var ftype *ast.FuncType
+	if decl != nil {
+		f.Pos, ftype = decl.Pos(), decl.Type
+	} else {
+		f.Pos, ftype = lit.Pos(), lit.Type
+	}
+	fb := &funcBuilder{
+		b: b, f: f,
+		defs:       map[*Block]map[types.Object]*Value{},
+		incomplete: map[*Block][]*Value{},
+		sealedSet:  map[*Block]bool{},
+	}
+	entry := fb.newBlock()
+	fb.seal(entry)
+	fb.cur = entry
+
+	bindParam := func(name *ast.Ident, recv bool) *Value {
+		obj := b.info.Defs[name]
+		v := fb.value(OpParam, b.info.TypeOf(name), name.Pos())
+		v.Var = obj
+		if obj != nil {
+			if b.demoted[obj] {
+				addr := fb.cellFor(obj, name.Pos())
+				fb.effect(OpStore, name.Pos(), addr, v)
+			} else {
+				fb.writeVar(obj, entry, v)
+			}
+		}
+		if recv {
+			f.Recv = v
+		} else {
+			f.Params = append(f.Params, v)
+		}
+		return v
+	}
+	if decl != nil && decl.Recv != nil {
+		for _, field := range decl.Recv.List {
+			for _, n := range field.Names {
+				bindParam(n, true)
+			}
+		}
+	}
+	for _, field := range ftype.Params.List {
+		for _, n := range field.Names {
+			bindParam(n, false)
+		}
+	}
+	// Named results start at their zero value.
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, n := range field.Names {
+				if obj := b.info.Defs[n]; obj != nil {
+					zero := fb.value(OpConst, b.info.TypeOf(n), n.Pos())
+					if b.demoted[obj] {
+						fb.effect(OpStore, n.Pos(), fb.cellFor(obj, n.Pos()), zero)
+					} else {
+						fb.writeVar(obj, entry, zero)
+					}
+				}
+			}
+		}
+	}
+
+	fb.stmt(body)
+	// Seal any block left unsealed by an abandoned path.
+	for _, blk := range f.Blocks {
+		if !fb.sealedSet[blk] {
+			fb.seal(blk)
+		}
+	}
+	simplifyPhis(f)
+	return f
+}
+
+// simplifyPhis removes trivial phis — those whose operands are all one
+// value (or the phi itself). They arise for variables that are live but
+// unmodified across a loop or branch, and would otherwise hide the
+// value's real origin from root/provenance analysis.
+func simplifyPhis(f *Func) {
+	for {
+		replace := map[*Value]*Value{}
+		f.AllValues(func(v *Value) {
+			if v.Op != OpPhi {
+				return
+			}
+			var same *Value
+			for _, a := range v.Args {
+				if a == v || a == same {
+					continue
+				}
+				if same != nil {
+					return // genuine join of two values
+				}
+				same = a
+			}
+			if same != nil {
+				replace[v] = same
+			}
+		})
+		if len(replace) == 0 {
+			return
+		}
+		resolve := func(v *Value) *Value {
+			for range replace { // bounded: chains cannot be longer
+				r, ok := replace[v]
+				if !ok {
+					return v
+				}
+				v = r
+			}
+			return v
+		}
+		for _, blk := range f.Blocks {
+			kept := blk.Values[:0]
+			for _, v := range blk.Values {
+				if _, dead := replace[v]; dead {
+					continue
+				}
+				for i, a := range v.Args {
+					v.Args[i] = resolve(a)
+				}
+				kept = append(kept, v)
+			}
+			blk.Values = kept
+		}
+	}
+}
+
+// --- CFG plumbing -------------------------------------------------------
+
+func (fb *funcBuilder) newBlock() *Block {
+	blk := &Block{Index: len(fb.f.Blocks)}
+	fb.f.Blocks = append(fb.f.Blocks, blk)
+	fb.defs[blk] = map[types.Object]*Value{}
+	return blk
+}
+
+func (fb *funcBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// value appends a new value to the current block.
+func (fb *funcBuilder) value(op Op, t types.Type, pos token.Pos, args ...*Value) *Value {
+	fb.b.nextID++
+	v := &Value{ID: fb.b.nextID, Op: op, Type: t, Pos: pos, Args: args, Tok: token.ILLEGAL, Loop: fb.loopDepth}
+	if fb.cur == nil {
+		// Unreachable code after return/branch: park values in a fresh
+		// predecessor-less block so the graph stays total.
+		fb.cur = fb.newBlock()
+		fb.seal(fb.cur)
+	}
+	fb.cur.Values = append(fb.cur.Values, v)
+	return v
+}
+
+// effect appends an effect-only instruction (Store/Return/Send).
+func (fb *funcBuilder) effect(op Op, pos token.Pos, args ...*Value) *Value {
+	return fb.value(op, nil, pos, args...)
+}
+
+// --- SSA variable resolution (Braun et al.) -----------------------------
+
+func (fb *funcBuilder) writeVar(obj types.Object, blk *Block, v *Value) {
+	fb.defs[blk][obj] = v
+}
+
+func (fb *funcBuilder) readVar(obj types.Object, blk *Block) *Value {
+	if v := fb.defs[blk][obj]; v != nil {
+		return v
+	}
+	var v *Value
+	switch {
+	case !fb.sealedSet[blk]:
+		v = fb.newPhi(obj, blk)
+		fb.incomplete[blk] = append(fb.incomplete[blk], v)
+	case len(blk.Preds) == 1:
+		v = fb.readVar(obj, blk.Preds[0])
+	case len(blk.Preds) == 0:
+		// Use without a reaching definition (dead code, imprecision).
+		v = fb.opaque(obj, blk)
+	default:
+		phi := fb.newPhi(obj, blk)
+		fb.defs[blk][obj] = phi // break recursion through loops
+		fb.addPhiOperands(phi, blk)
+		v = phi
+	}
+	fb.defs[blk][obj] = v
+	return v
+}
+
+func (fb *funcBuilder) newPhi(obj types.Object, blk *Block) *Value {
+	fb.b.nextID++
+	v := &Value{ID: fb.b.nextID, Op: OpPhi, Type: obj.Type(), Pos: obj.Pos(), Var: obj, Tok: token.ILLEGAL, Loop: fb.loopDepth}
+	blk.Values = append(blk.Values, v)
+	return v
+}
+
+func (fb *funcBuilder) opaque(obj types.Object, blk *Block) *Value {
+	fb.b.nextID++
+	v := &Value{ID: fb.b.nextID, Op: OpUnknown, Type: obj.Type(), Pos: obj.Pos(), Var: obj, Tok: token.ILLEGAL, Loop: fb.loopDepth}
+	blk.Values = append(blk.Values, v)
+	return v
+}
+
+func (fb *funcBuilder) addPhiOperands(phi *Value, blk *Block) {
+	for _, pred := range blk.Preds {
+		phi.Args = append(phi.Args, fb.readVar(phi.Var, pred))
+	}
+}
+
+// seal marks a block's predecessor list final and completes its phis.
+func (fb *funcBuilder) seal(blk *Block) {
+	if fb.sealedSet[blk] {
+		return
+	}
+	fb.sealedSet[blk] = true
+	pending := fb.incomplete[blk]
+	delete(fb.incomplete, blk)
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+	for _, phi := range pending {
+		fb.addPhiOperands(phi, blk)
+	}
+}
+
+// --- statements ---------------------------------------------------------
+
+func (fb *funcBuilder) stmt(s ast.Stmt) {
+	label := fb.pendingLabel
+	fb.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			fb.stmt(st)
+		}
+	case *ast.ExprStmt:
+		fb.expr(s.X)
+	case *ast.AssignStmt:
+		fb.assign(s)
+	case *ast.IncDecStmt:
+		cur := fb.expr(s.X)
+		one := fb.value(OpConst, fb.b.info.TypeOf(s.X), s.Pos())
+		op := token.ADD
+		if s.Tok == token.DEC {
+			op = token.SUB
+		}
+		v := fb.value(OpBin, fb.b.info.TypeOf(s.X), s.Pos(), cur, one)
+		v.Tok = op
+		fb.store(s.X, v, s.Pos())
+	case *ast.DeclStmt:
+		fb.declStmt(s)
+	case *ast.IfStmt:
+		fb.ifStmt(s)
+	case *ast.ForStmt:
+		fb.forStmt(s, label)
+	case *ast.RangeStmt:
+		fb.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		fb.switchStmt(s.Init, s.Tag, nil, s.Body, label)
+	case *ast.TypeSwitchStmt:
+		fb.switchStmt(s.Init, nil, s, s.Body, label)
+	case *ast.SelectStmt:
+		fb.selectStmt(s, label)
+	case *ast.SendStmt:
+		ch := fb.expr(s.Chan)
+		v := fb.expr(s.Value)
+		fb.effect(OpSend, s.Pos(), ch, v)
+	case *ast.ReturnStmt:
+		args := make([]*Value, 0, len(s.Results))
+		for _, r := range s.Results {
+			args = append(args, fb.expr(r))
+		}
+		fb.effect(OpReturn, s.Pos(), args...)
+		fb.cur = nil
+	case *ast.BranchStmt:
+		fb.branchStmt(s)
+	case *ast.LabeledStmt:
+		fb.pendingLabel = s.Label.Name
+		fb.stmt(s.Stmt)
+		fb.pendingLabel = ""
+	case *ast.GoStmt:
+		call := fb.callExpr(s.Call)
+		call.GoCall = true
+	case *ast.DeferStmt:
+		call := fb.callExpr(s.Call)
+		call.DeferCall = true
+	case *ast.EmptyStmt:
+	default:
+		fb.f.Imprecise = true
+	}
+}
+
+func (fb *funcBuilder) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		var vals []*Value
+		for _, val := range vs.Values {
+			vals = append(vals, fb.expr(val))
+		}
+		for i, name := range vs.Names {
+			var v *Value
+			switch {
+			case len(vals) == 1 && len(vs.Names) > 1:
+				v = fb.extract(vals[0], i, fb.b.info.TypeOf(name), name.Pos())
+			case i < len(vals):
+				v = vals[i]
+			default:
+				v = fb.value(OpConst, fb.b.info.TypeOf(name), name.Pos())
+			}
+			fb.define(name, v)
+		}
+	}
+}
+
+func (fb *funcBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		fb.stmt(s.Init)
+	}
+	fb.expr(s.Cond)
+	from := fb.cur
+	then := fb.newBlock()
+	join := fb.newBlock()
+	fb.edge(from, then)
+	fb.seal(then)
+	var els *Block
+	if s.Else != nil {
+		els = fb.newBlock()
+		fb.edge(from, els)
+		fb.seal(els)
+	} else {
+		fb.edge(from, join)
+	}
+	fb.cur = then
+	fb.stmt(s.Body)
+	if fb.cur != nil {
+		fb.edge(fb.cur, join)
+	}
+	if els != nil {
+		fb.cur = els
+		fb.stmt(s.Else)
+		if fb.cur != nil {
+			fb.edge(fb.cur, join)
+		}
+	}
+	fb.seal(join)
+	fb.cur = join
+}
+
+func (fb *funcBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		fb.stmt(s.Init)
+	}
+	header := fb.newBlock()
+	fb.edge(fb.cur, header) // header stays unsealed: back edges pending
+	body := fb.newBlock()
+	exit := fb.newBlock()
+	latch := fb.newBlock()
+	fb.cur = header
+	fb.loopDepth++
+	if s.Cond != nil {
+		fb.expr(s.Cond)
+	}
+	fb.edge(header, body)
+	fb.edge(header, exit)
+	fb.seal(body)
+	fb.targets = append(fb.targets, &branchTarget{label: label, brk: exit, cont: latch, isLoop: true})
+	fb.cur = body
+	fb.stmt(s.Body)
+	fb.targets = fb.targets[:len(fb.targets)-1]
+	if fb.cur != nil {
+		fb.edge(fb.cur, latch)
+	}
+	fb.seal(latch)
+	fb.cur = latch
+	if s.Post != nil {
+		fb.stmt(s.Post)
+	}
+	fb.edge(fb.cur, header)
+	fb.loopDepth--
+	fb.seal(header)
+	fb.seal(exit)
+	fb.cur = exit
+}
+
+func (fb *funcBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	x := fb.expr(s.X)
+	xt := fb.b.info.TypeOf(s.X)
+	isMap, isChan := false, false
+	if xt != nil {
+		switch xt.Underlying().(type) {
+		case *types.Map:
+			isMap = true
+		case *types.Chan:
+			isChan = true
+		}
+	}
+	header := fb.newBlock()
+	fb.edge(fb.cur, header) // unsealed: back edges pending
+	body := fb.newBlock()
+	exit := fb.newBlock()
+	fb.edge(header, body)
+	fb.edge(header, exit)
+	fb.seal(body)
+	fb.cur = header
+	fb.loopDepth++
+	bindRange := func(expr ast.Expr, op Op) {
+		if expr == nil {
+			return
+		}
+		if id, ok := ast.Unparen(expr).(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		v := fb.value(op, fb.b.info.TypeOf(expr), expr.Pos(), x)
+		v.RangeMap, v.RangeChan = isMap, isChan
+		if s.Tok == token.DEFINE {
+			if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+				if obj := fb.b.info.Defs[id]; obj != nil {
+					v.Var = obj
+					if fb.b.demoted[obj] {
+						fb.effect(OpStore, id.Pos(), fb.cellFor(obj, id.Pos()), v)
+					} else {
+						fb.writeVar(obj, header, v)
+					}
+					return
+				}
+			}
+		}
+		fb.store(expr, v, expr.Pos())
+	}
+	bindRange(s.Key, OpRangeKey)
+	bindRange(s.Value, OpRangeVal)
+	fb.targets = append(fb.targets, &branchTarget{label: label, brk: exit, cont: header, isLoop: true})
+	fb.cur = body
+	fb.stmt(s.Body)
+	fb.targets = fb.targets[:len(fb.targets)-1]
+	if fb.cur != nil {
+		fb.edge(fb.cur, header)
+	}
+	fb.loopDepth--
+	fb.seal(header)
+	fb.seal(exit)
+	fb.cur = exit
+}
+
+// switchStmt lowers expression and type switches: each clause body is a
+// block entered from the dispatch point, with fallthrough edges between
+// consecutive clause bodies.
+func (fb *funcBuilder) switchStmt(init ast.Stmt, tag ast.Expr, ts *ast.TypeSwitchStmt, body *ast.BlockStmt, label string) {
+	if init != nil {
+		fb.stmt(init)
+	}
+	var tagVal *Value
+	if tag != nil {
+		tagVal = fb.expr(tag)
+	}
+	var subject *Value
+	if ts != nil {
+		switch a := ts.Assign.(type) {
+		case *ast.ExprStmt:
+			if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+				subject = fb.expr(ta.X)
+			}
+		case *ast.AssignStmt:
+			if len(a.Rhs) == 1 {
+				if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+					subject = fb.expr(ta.X)
+				}
+			}
+		}
+	}
+	dispatch := fb.cur
+	exit := fb.newBlock()
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blocks[i] = fb.newBlock()
+		fb.edge(dispatch, blocks[i])
+	}
+	if !hasDefault {
+		fb.edge(dispatch, exit)
+	}
+	// Case guard expressions evaluate at the dispatch point.
+	fb.cur = dispatch
+	for _, cc := range clauses {
+		if ts == nil {
+			for _, e := range cc.List {
+				fb.expr(e)
+			}
+		}
+	}
+	_ = tagVal
+	fb.targets = append(fb.targets, &branchTarget{label: label, brk: exit})
+	for i, cc := range clauses {
+		fb.seal(blocks[i]) // fallthrough edge from clause i-1 already added
+		fb.cur = blocks[i]
+		if i+1 < len(blocks) {
+			fb.fallTarget = blocks[i+1]
+		} else {
+			fb.fallTarget = exit
+		}
+		if ts != nil && subject != nil {
+			// The clause-scoped variable of "v := x.(type)".
+			if obj := fb.b.info.Implicits[cc]; obj != nil {
+				cv := fb.value(OpConvert, obj.Type(), cc.Pos(), subject)
+				cv.Var = obj
+				if fb.b.demoted[obj] {
+					fb.effect(OpStore, cc.Pos(), fb.cellFor(obj, cc.Pos()), cv)
+				} else {
+					fb.writeVar(obj, blocks[i], cv)
+				}
+			}
+		}
+		for _, st := range cc.Body {
+			fb.stmt(st)
+		}
+		if fb.cur != nil {
+			fb.edge(fb.cur, exit)
+		}
+	}
+	fb.fallTarget = nil
+	fb.targets = fb.targets[:len(fb.targets)-1]
+	fb.seal(exit)
+	fb.cur = exit
+}
+
+func (fb *funcBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	dispatch := fb.cur
+	exit := fb.newBlock()
+	fb.targets = append(fb.targets, &branchTarget{label: label, brk: exit})
+	any := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := fb.newBlock()
+		fb.edge(dispatch, blk)
+		fb.seal(blk)
+		fb.cur = blk
+		if cc.Comm != nil {
+			fb.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			fb.stmt(st)
+		}
+		if fb.cur != nil {
+			fb.edge(fb.cur, exit)
+			any = true
+		}
+	}
+	fb.targets = fb.targets[:len(fb.targets)-1]
+	if !any {
+		// A select whose every arm terminates: exit is unreachable.
+		fb.edge(dispatch, exit)
+	}
+	fb.seal(exit)
+	fb.cur = exit
+}
+
+func (fb *funcBuilder) branchStmt(s *ast.BranchStmt) {
+	find := func(wantLoop bool) *branchTarget {
+		for i := len(fb.targets) - 1; i >= 0; i-- {
+			t := fb.targets[i]
+			if s.Label != nil && t.label != s.Label.Name {
+				continue
+			}
+			if wantLoop && !t.isLoop {
+				continue
+			}
+			return t
+		}
+		return nil
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := find(false); t != nil {
+			if fb.cur != nil {
+				fb.edge(fb.cur, t.brk)
+			}
+		} else {
+			fb.f.Imprecise = true // labeled break out of a plain block
+		}
+		fb.cur = nil
+	case token.CONTINUE:
+		if t := find(true); t != nil {
+			if fb.cur != nil {
+				fb.edge(fb.cur, t.cont)
+			}
+		} else {
+			fb.f.Imprecise = true
+		}
+		fb.cur = nil
+	case token.FALLTHROUGH:
+		if fb.fallTarget != nil && fb.cur != nil {
+			fb.edge(fb.cur, fb.fallTarget)
+		}
+		fb.cur = nil
+	case token.GOTO:
+		fb.f.Imprecise = true
+		fb.cur = nil
+	}
+}
+
+// --- assignment ---------------------------------------------------------
+
+func (fb *funcBuilder) assign(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment x op= y.
+		cur := fb.expr(s.Lhs[0])
+		rhs := fb.expr(s.Rhs[0])
+		v := fb.value(OpBin, fb.b.info.TypeOf(s.Lhs[0]), s.TokPos, cur, rhs)
+		v.Tok = assignOp(s.Tok)
+		fb.store(s.Lhs[0], v, s.TokPos)
+		return
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Tuple assignment: call, type assertion, map index, receive.
+		src := fb.expr(s.Rhs[0])
+		for i, lhs := range s.Lhs {
+			v := fb.extract(src, i, fb.b.info.TypeOf(lhs), lhs.Pos())
+			fb.assignOne(s.Tok, lhs, v)
+		}
+		return
+	}
+	// Parallel assignment: evaluate all right-hand sides first.
+	vals := make([]*Value, len(s.Rhs))
+	for i, rhs := range s.Rhs {
+		vals[i] = fb.expr(rhs)
+	}
+	for i, lhs := range s.Lhs {
+		if i < len(vals) {
+			fb.assignOne(s.Tok, lhs, vals[i])
+		}
+	}
+}
+
+func (fb *funcBuilder) assignOne(tok token.Token, lhs ast.Expr, v *Value) {
+	if tok == token.DEFINE {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			fb.define(id, v)
+			return
+		}
+	}
+	fb.store(lhs, v, lhs.Pos())
+}
+
+// define binds a := definition (or var decl) of id to v.
+func (fb *funcBuilder) define(id *ast.Ident, v *Value) {
+	if id.Name == "_" {
+		return
+	}
+	obj := fb.b.info.Defs[id]
+	if obj == nil {
+		// := with a pre-declared variable on the left re-assigns.
+		fb.store(id, v, id.Pos())
+		return
+	}
+	if fb.b.demoted[obj] {
+		fb.effect(OpStore, id.Pos(), fb.cellFor(obj, id.Pos()), v)
+		return
+	}
+	fb.writeVar(obj, fb.cur, v)
+}
+
+// store lowers an assignment to an arbitrary lvalue.
+func (fb *funcBuilder) store(lhs ast.Expr, v *Value, pos token.Pos) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		obj := fb.b.info.Uses[e]
+		if obj == nil {
+			obj = fb.b.info.Defs[e]
+		}
+		if obj == nil {
+			return
+		}
+		if vr, ok := obj.(*types.Var); ok && isPackageLevel(vr) {
+			g := fb.value(OpGlobal, types.NewPointer(obj.Type()), e.Pos())
+			g.Var = obj
+			fb.effect(OpStore, pos, g, v)
+			return
+		}
+		if fb.b.demoted[obj] {
+			fb.effect(OpStore, pos, fb.cellFor(obj, e.Pos()), v)
+			return
+		}
+		fb.writeVar(obj, fb.cur, v)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		addr := fb.addr(lhs)
+		fb.effect(OpStore, pos, addr, v)
+	default:
+		fb.f.Imprecise = true
+	}
+}
+
+func assignOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return tok
+}
+
+// --- expressions --------------------------------------------------------
+
+// cellFor returns the address value of a demoted local.
+func (fb *funcBuilder) cellFor(obj types.Object, pos token.Pos) *Value {
+	v := fb.value(OpCell, types.NewPointer(obj.Type()), pos)
+	v.Var = obj
+	return v
+}
+
+func (fb *funcBuilder) extract(src *Value, i int, t types.Type, pos token.Pos) *Value {
+	v := fb.value(OpExtract, t, pos, src)
+	v.Index = i
+	return v
+}
+
+// expr lowers an expression to its rvalue.
+func (fb *funcBuilder) expr(e ast.Expr) *Value {
+	e = ast.Unparen(e)
+	// Constant-folded expressions collapse to OpConst.
+	if tv, ok := fb.b.info.Types[e]; ok && tv.Value != nil {
+		v := fb.value(OpConst, tv.Type, e.Pos())
+		v.Lit = tv.Value
+		return v
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return fb.identValue(e)
+	case *ast.SelectorExpr:
+		return fb.selectorValue(e)
+	case *ast.BasicLit:
+		v := fb.value(OpConst, fb.b.info.TypeOf(e), e.Pos())
+		if tv, ok := fb.b.info.Types[e]; ok {
+			v.Lit = tv.Value
+		}
+		return v
+	case *ast.BinaryExpr:
+		x := fb.expr(e.X)
+		y := fb.expr(e.Y)
+		v := fb.value(OpBin, fb.b.info.TypeOf(e), e.OpPos, x, y)
+		v.Tok = e.Op
+		return v
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			return fb.addr(e.X)
+		case token.ARROW:
+			return fb.value(OpRecv, fb.b.info.TypeOf(e), e.Pos(), fb.expr(e.X))
+		default:
+			v := fb.value(OpUn, fb.b.info.TypeOf(e), e.Pos(), fb.expr(e.X))
+			v.Tok = e.Op
+			return v
+		}
+	case *ast.StarExpr:
+		return fb.value(OpLoad, fb.b.info.TypeOf(e), e.Pos(), fb.expr(e.X))
+	case *ast.CallExpr:
+		return fb.callExpr(e)
+	case *ast.CompositeLit:
+		return fb.compositeLit(e)
+	case *ast.FuncLit:
+		child := fb.b.buildFunc(fmt.Sprintf("%s$%d", fb.f.Name, len(fb.f.Anons)+1), nil, e, fb.f, e.Body)
+		fb.f.Anons = append(fb.f.Anons, child)
+		v := fb.value(OpClosure, fb.b.info.TypeOf(e), e.Pos())
+		v.Lambda = child
+		return v
+	case *ast.TypeAssertExpr:
+		return fb.value(OpConvert, fb.b.info.TypeOf(e), e.Pos(), fb.expr(e.X))
+	case *ast.IndexExpr:
+		if fb.isTypeInstantiation(e.X) {
+			return fb.expr(e.X) // generic instantiation, not an index
+		}
+		addr := fb.value(OpIndexAddr, nil, e.Pos(), fb.baseFor(e.X), fb.expr(e.Index))
+		return fb.value(OpLoad, fb.b.info.TypeOf(e), e.Pos(), addr)
+	case *ast.IndexListExpr:
+		return fb.expr(e.X)
+	case *ast.SliceExpr:
+		args := []*Value{fb.expr(e.X)}
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				args = append(args, fb.expr(idx))
+			}
+		}
+		return fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos(), args...)
+	case *ast.KeyValueExpr:
+		return fb.expr(e.Value)
+	}
+	return fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos())
+}
+
+// isTypeInstantiation reports whether an IndexExpr base is a generic
+// function or type rather than an indexable value.
+func (fb *funcBuilder) isTypeInstantiation(x ast.Expr) bool {
+	if t := fb.b.info.TypeOf(x); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Map, *types.Pointer, *types.Basic:
+			return false
+		}
+	}
+	return true
+}
+
+func (fb *funcBuilder) identValue(e *ast.Ident) *Value {
+	obj := fb.b.info.Uses[e]
+	if obj == nil {
+		obj = fb.b.info.Defs[e]
+	}
+	switch obj := obj.(type) {
+	case *types.Var:
+		if isPackageLevel(obj) {
+			g := fb.value(OpGlobal, types.NewPointer(obj.Type()), e.Pos())
+			g.Var = obj
+			return fb.value(OpLoad, obj.Type(), e.Pos(), g)
+		}
+		if fb.b.demoted[obj] {
+			return fb.value(OpLoad, obj.Type(), e.Pos(), fb.cellFor(obj, e.Pos()))
+		}
+		return fb.readVar(obj, fb.cur)
+	case *types.Func:
+		v := fb.value(OpGlobal, obj.Type(), e.Pos())
+		v.Var = obj
+		return v
+	case *types.Nil:
+		return fb.value(OpConst, fb.b.info.TypeOf(e), e.Pos())
+	}
+	v := fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos())
+	v.Var = obj
+	return v
+}
+
+func (fb *funcBuilder) selectorValue(e *ast.SelectorExpr) *Value {
+	// Qualified identifier: pkg.Name.
+	if id, ok := e.X.(*ast.Ident); ok {
+		if _, isPkg := fb.b.info.Uses[id].(*types.PkgName); isPkg {
+			obj := fb.b.info.Uses[e.Sel]
+			switch obj := obj.(type) {
+			case *types.Var:
+				g := fb.value(OpGlobal, types.NewPointer(obj.Type()), e.Pos())
+				g.Var = obj
+				return fb.value(OpLoad, obj.Type(), e.Pos(), g)
+			case *types.Func:
+				v := fb.value(OpGlobal, obj.Type(), e.Pos())
+				v.Var = obj
+				return v
+			default:
+				return fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos())
+			}
+		}
+	}
+	sel, ok := fb.b.info.Selections[e]
+	if !ok {
+		return fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos(), fb.expr(e.X))
+	}
+	switch sel.Kind() {
+	case types.FieldVal:
+		addr := fb.fieldPath(e, sel)
+		return fb.value(OpLoad, fb.b.info.TypeOf(e), e.Pos(), addr)
+	default: // method value / method expression
+		return fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos(), fb.expr(e.X))
+	}
+}
+
+// fieldPath builds the FieldAddr chain for a field selection, walking
+// through any embedded fields in the selection's index path.
+func (fb *funcBuilder) fieldPath(e *ast.SelectorExpr, sel *types.Selection) *Value {
+	base := fb.baseFor(e.X)
+	t := sel.Recv()
+	for _, idx := range sel.Index() {
+		st := derefStruct(t)
+		if st == nil {
+			break
+		}
+		field := st.Field(idx)
+		fa := fb.value(OpFieldAddr, nil, e.Pos(), base)
+		fa.Field = field
+		base = fa
+		t = field.Type()
+	}
+	return base
+}
+
+func derefStruct(t types.Type) *types.Struct {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// baseFor lowers the base of a selector/index chain: pointers and plain
+// rvalues lower to their value, addressable demoted locals to their
+// address path.
+func (fb *funcBuilder) baseFor(x ast.Expr) *Value {
+	x = ast.Unparen(x)
+	if id, ok := x.(*ast.Ident); ok {
+		obj := fb.b.info.Uses[id]
+		if obj == nil {
+			obj = fb.b.info.Defs[id]
+		}
+		if vr, ok := obj.(*types.Var); ok {
+			if isPackageLevel(vr) {
+				g := fb.value(OpGlobal, types.NewPointer(vr.Type()), id.Pos())
+				g.Var = vr
+				return g
+			}
+			if fb.b.demoted[vr] {
+				return fb.cellFor(vr, id.Pos())
+			}
+		}
+	}
+	return fb.expr(x)
+}
+
+// addr lowers an lvalue to its address/path value.
+func (fb *funcBuilder) addr(e ast.Expr) *Value {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := fb.b.info.Uses[e]
+		if obj == nil {
+			obj = fb.b.info.Defs[e]
+		}
+		if vr, ok := obj.(*types.Var); ok {
+			if isPackageLevel(vr) {
+				g := fb.value(OpGlobal, types.NewPointer(vr.Type()), e.Pos())
+				g.Var = vr
+				return g
+			}
+			return fb.cellFor(vr, e.Pos()) // prepass demoted address-taken locals
+		}
+		return fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos())
+	case *ast.SelectorExpr:
+		if sel, ok := fb.b.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return fb.fieldPath(e, sel)
+		}
+		return fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos(), fb.expr(e.X))
+	case *ast.IndexExpr:
+		return fb.value(OpIndexAddr, nil, e.Pos(), fb.baseFor(e.X), fb.expr(e.Index))
+	case *ast.StarExpr:
+		return fb.expr(e.X)
+	case *ast.CompositeLit:
+		return fb.compositeLit(e) // &T{...}: the fresh composite stands in
+	default:
+		return fb.value(OpUnknown, fb.b.info.TypeOf(e), e.Pos(), fb.expr(e))
+	}
+}
+
+func (fb *funcBuilder) compositeLit(e *ast.CompositeLit) *Value {
+	t := fb.b.info.TypeOf(e)
+	var args []*Value
+	type fieldInit struct {
+		field *types.Var
+		val   *Value
+	}
+	var inits []fieldInit
+	st := derefStruct(t)
+	for i, elt := range e.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			v := fb.expr(kv.Value)
+			args = append(args, v)
+			if st != nil {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					if f, ok := fb.b.info.Uses[id].(*types.Var); ok {
+						inits = append(inits, fieldInit{f, v})
+					}
+				}
+			}
+			continue
+		}
+		v := fb.expr(elt)
+		args = append(args, v)
+		if st != nil && i < st.NumFields() {
+			inits = append(inits, fieldInit{st.Field(i), v})
+		}
+	}
+	comp := fb.value(OpComposite, t, e.Pos(), args...)
+	// Struct literals also record explicit field stores so field-level
+	// sinks see initialization the same as assignment.
+	for _, in := range inits {
+		fa := fb.value(OpFieldAddr, nil, e.Pos(), comp)
+		fa.Field = in.field
+		fb.effect(OpStore, in.val.Pos, fa, in.val)
+	}
+	return comp
+}
+
+func (fb *funcBuilder) callExpr(call *ast.CallExpr) *Value {
+	fun := ast.Unparen(call.Fun)
+	// Conversions: T(x).
+	if tv, ok := fb.b.info.Types[call.Fun]; ok && tv.IsType() {
+		var arg *Value
+		if len(call.Args) == 1 {
+			arg = fb.expr(call.Args[0])
+		}
+		if arg == nil {
+			return fb.value(OpUnknown, fb.b.info.TypeOf(call), call.Pos())
+		}
+		return fb.value(OpConvert, fb.b.info.TypeOf(call), call.Pos(), arg)
+	}
+	// Unwrap generic instantiations to find the callee identifier.
+	switch g := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(g.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(g.X)
+	}
+	var callee types.Object
+	var args []*Value
+	hasRecv := false
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := fb.b.info.Uses[fun].(type) {
+		case *types.Func, *types.Builtin:
+			callee = obj
+		default:
+			args = append(args, fb.expr(fun)) // call through a function value
+		}
+	case *ast.SelectorExpr:
+		obj := fb.b.info.Uses[fun.Sel]
+		if sel, ok := fb.b.info.Selections[fun]; ok && (sel.Kind() == types.MethodVal) {
+			callee = obj
+			args = append(args, fb.baseFor(fun.X))
+			hasRecv = true
+		} else if _, isFunc := obj.(*types.Func); isFunc {
+			callee = obj // package-qualified function
+		} else {
+			args = append(args, fb.expr(fun)) // func-typed field etc.
+		}
+	default:
+		args = append(args, fb.expr(call.Fun))
+	}
+	for _, a := range call.Args {
+		args = append(args, fb.expr(a))
+	}
+	v := fb.value(OpCall, fb.b.info.TypeOf(call), call.Pos(), args...)
+	v.Callee = callee
+	v.HasRecv = hasRecv
+	return v
+}

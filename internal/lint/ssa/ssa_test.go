@@ -1,0 +1,443 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildSrc type-checks one file of self-contained source and lowers it.
+func buildSrc(t *testing.T, src string) []*Func {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("x", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return BuildPackage([]*ast.File{file}, info, pkg)
+}
+
+func fnByName(t *testing.T, funcs []*Func, name string) *Func {
+	t.Helper()
+	for _, f := range funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("function %q not lowered", name)
+	return nil
+}
+
+// values collects every value in the function's closure tree matching
+// the predicate.
+func values(f *Func, pred func(*Value) bool) []*Value {
+	var out []*Value
+	f.Tree(func(fn *Func) {
+		fn.AllValues(func(v *Value) {
+			if pred(v) {
+				out = append(out, v)
+			}
+		})
+	})
+	return out
+}
+
+func ops(f *Func, op Op) []*Value {
+	return values(f, func(v *Value) bool { return v.Op == op })
+}
+
+func TestStraightLine(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func add(a, b int) int {
+	c := a + b
+	return c
+}`)
+	f := fnByName(t, funcs, "add")
+	rets := ops(f, OpReturn)
+	if len(rets) != 1 || len(rets[0].Args) != 1 {
+		t.Fatalf("want one single-value return, got %v", rets)
+	}
+	c := rets[0].Args[0]
+	if c.Op != OpBin || c.Tok != token.ADD {
+		t.Fatalf("returned value is %s, want bin +", c)
+	}
+	if c.Args[0] != f.Params[0] || c.Args[1] != f.Params[1] {
+		t.Fatalf("operands not the parameters: %s", c)
+	}
+}
+
+func TestIfPhi(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func pick(c bool) int {
+	v := 1
+	if c {
+		v = 2
+	}
+	return v
+}`)
+	f := fnByName(t, funcs, "pick")
+	rets := ops(f, OpReturn)
+	if len(rets) != 1 {
+		t.Fatalf("want one return, got %d", len(rets))
+	}
+	v := rets[0].Args[0]
+	if v.Op != OpPhi || len(v.Args) != 2 {
+		t.Fatalf("merged value is %s, want 2-arg phi", v)
+	}
+	for _, a := range v.Args {
+		if a.Op != OpConst {
+			t.Errorf("phi operand %s, want const", a)
+		}
+	}
+}
+
+func TestLoopPhi(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func sum(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	f := fnByName(t, funcs, "sum")
+	ret := ops(f, OpReturn)[0].Args[0]
+	if ret.Op != OpPhi {
+		t.Fatalf("returned s is %s, want loop-header phi", ret)
+	}
+	// One operand is the initial 0, the other the += in the body.
+	var sawConst, sawAdd bool
+	for _, a := range ret.Args {
+		switch a.Op {
+		case OpConst:
+			sawConst = true
+		case OpBin:
+			sawAdd = a.Tok == token.ADD
+		}
+	}
+	if !sawConst || !sawAdd {
+		t.Fatalf("phi operands %v: want init const and body add", ret.Args)
+	}
+}
+
+func TestRangeFlags(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func walk(m map[string]int, ch chan int, sl []int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	for v := range ch {
+		s += v
+	}
+	for _, v := range sl {
+		s += v
+	}
+	return s
+}`)
+	f := fnByName(t, funcs, "walk")
+	var maps, chans, plain int
+	for _, v := range values(f, func(v *Value) bool { return v.Op == OpRangeKey || v.Op == OpRangeVal }) {
+		switch {
+		case v.RangeMap:
+			maps++
+		case v.RangeChan:
+			chans++
+		default:
+			plain++
+		}
+	}
+	if maps != 1 || chans != 1 || plain != 1 {
+		t.Fatalf("range values map=%d chan=%d plain=%d, want 1/1/1", maps, chans, plain)
+	}
+}
+
+func TestClosureCell(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func counter() func() int {
+	n := 0
+	return func() int {
+		n++
+		return n
+	}
+}`)
+	f := fnByName(t, funcs, "counter")
+	if len(f.Anons) != 1 {
+		t.Fatalf("want 1 closure, got %d", len(f.Anons))
+	}
+	// n is demoted: the closure must access it through cell load/store.
+	inner := f.Anons[0]
+	loads := ops(inner, OpLoad)
+	stores := ops(inner, OpStore)
+	if len(loads) == 0 || len(stores) == 0 {
+		t.Fatalf("closure accesses: %d loads, %d stores; want cell traffic", len(loads), len(stores))
+	}
+	field, root := PathKeys(stores[0].Args[0])
+	if field != nil || root == nil || root.Name() != "n" {
+		t.Fatalf("store path keys field=%v root=%v, want cell n", field, root)
+	}
+}
+
+func TestMethodCallReceiver(t *testing.T) {
+	funcs := buildSrc(t, `package x
+type T struct{ n int }
+func (t *T) bump(d int) { t.n += d }
+func use(t *T) { t.bump(3) }`)
+	f := fnByName(t, funcs, "use")
+	calls := ops(f, OpCall)
+	if len(calls) != 1 {
+		t.Fatalf("want 1 call, got %d", len(calls))
+	}
+	c := calls[0]
+	if !c.HasRecv || c.Callee == nil || c.Callee.Name() != "bump" {
+		t.Fatalf("call %s: want static method call with receiver", c)
+	}
+	if len(c.Args) != 2 {
+		t.Fatalf("call args %d, want receiver + 1 operand", len(c.Args))
+	}
+	// The method body stores through the receiver parameter.
+	bump := fnByName(t, funcs, "(*T).bump")
+	stores := ops(bump, OpStore)
+	if len(stores) != 1 {
+		t.Fatalf("bump stores = %d, want 1", len(stores))
+	}
+	fieldVar, root := PathKeys(stores[0].Args[0])
+	if fieldVar == nil || fieldVar.Name() != "n" || root == nil || root.Name() != "t" {
+		t.Fatalf("bump store path field=%v root=%v", fieldVar, root)
+	}
+}
+
+func TestCompositeFieldStores(t *testing.T) {
+	funcs := buildSrc(t, `package x
+type R struct{ a, b int }
+func mk(x int) R { return R{b: x} }`)
+	f := fnByName(t, funcs, "mk")
+	stores := ops(f, OpStore)
+	if len(stores) != 1 {
+		t.Fatalf("keyed composite: %d stores, want 1", len(stores))
+	}
+	fieldVar, _ := PathKeys(stores[0].Args[0])
+	if fieldVar == nil || fieldVar.Name() != "b" {
+		t.Fatalf("composite store field %v, want b", fieldVar)
+	}
+	if stores[0].Args[1] != f.Params[0] {
+		t.Fatalf("stored value %s, want parameter x", stores[0].Args[1])
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func f(a, b int) (int, int) {
+	x := a*31 + b
+	y := a*31 + b
+	return x, y
+}`)
+	f := fnByName(t, funcs, "f")
+	ret := ops(f, OpReturn)[0]
+	if len(ret.Args) != 2 {
+		t.Fatalf("return args %d", len(ret.Args))
+	}
+	if ret.Args[0] == ret.Args[1] {
+		t.Fatal("distinct expressions lowered to one value")
+	}
+	if !Equal(ret.Args[0], ret.Args[1]) {
+		t.Errorf("structurally identical pure expressions not Equal:\n%s\n%s", ret.Args[0], ret.Args[1])
+	}
+}
+
+func TestEqualDistinguishesCalls(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func g() int
+func f() (int, int) {
+	x := g()
+	y := g()
+	return x, y
+}`)
+	f := fnByName(t, funcs, "f")
+	ret := ops(f, OpReturn)[0]
+	if Equal(ret.Args[0], ret.Args[1]) {
+		t.Error("two call instances compare Equal; calls must be identity-only")
+	}
+}
+
+func TestTaintThroughLocalsAndFields(t *testing.T) {
+	funcs := buildSrc(t, `package x
+type R struct{ w int }
+func src() int
+func sink(int)
+func f(r *R) {
+	t := src()
+	u := t + 1
+	r.w = u
+	sink(r.w)
+	sink(42)
+}`)
+	f := fnByName(t, funcs, "f")
+	taint := Propagate([]*Func{f},
+		func(v *Value) bool {
+			return v.Op == OpCall && v.Callee != nil && v.Callee.Name() == "src"
+		}, nil)
+	var sinkCalls []*Value
+	for _, c := range ops(f, OpCall) {
+		if c.Callee != nil && c.Callee.Name() == "sink" {
+			sinkCalls = append(sinkCalls, c)
+		}
+	}
+	if len(sinkCalls) != 2 {
+		t.Fatalf("want 2 sink calls, got %d", len(sinkCalls))
+	}
+	if !taint.Value(sinkCalls[0].Args[0]) {
+		t.Error("taint lost through local arithmetic and a field store/load")
+	}
+	if taint.Value(sinkCalls[1].Args[0]) {
+		t.Error("constant argument spuriously tainted")
+	}
+}
+
+func TestTaintCrossesClosure(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func src() int
+func sink(int)
+func f() {
+	var captured int
+	set := func() { captured = src() }
+	set()
+	sink(captured)
+}`)
+	f := fnByName(t, funcs, "f")
+	taint := Propagate([]*Func{f},
+		func(v *Value) bool {
+			return v.Op == OpCall && v.Callee != nil && v.Callee.Name() == "src"
+		}, nil)
+	var sinkArg *Value
+	for _, c := range ops(f, OpCall) {
+		if c.Callee != nil && c.Callee.Name() == "sink" {
+			sinkArg = c.Args[0]
+		}
+	}
+	if sinkArg == nil {
+		t.Fatal("sink call not found")
+	}
+	if !taint.Value(sinkArg) {
+		t.Error("taint did not flow through the captured variable's cell")
+	}
+}
+
+func TestLoopDepthRecorded(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func g(int) int
+func f(n int) int {
+	a := g(0)
+	b := 0
+	for i := 0; i < n; i++ {
+		b = g(i)
+	}
+	return a + b
+}`)
+	f := fnByName(t, funcs, "f")
+	var depths []int
+	for _, c := range ops(f, OpCall) {
+		depths = append(depths, c.Loop)
+	}
+	if len(depths) != 2 || depths[0] != 0 || depths[1] != 1 {
+		t.Fatalf("call loop depths %v, want [0 1]", depths)
+	}
+}
+
+func TestSwitchAndSelectLower(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func f(x interface{}, ch chan int) int {
+	r := 0
+	switch v := x.(type) {
+	case int:
+		r = v
+	case string:
+		r = len(v)
+	default:
+		r = -1
+	}
+	select {
+	case v := <-ch:
+		r += v
+	default:
+	}
+	return r
+}`)
+	f := fnByName(t, funcs, "f")
+	if f.Imprecise {
+		t.Fatal("switch/select lowering marked imprecise")
+	}
+	ret := ops(f, OpReturn)[0].Args[0]
+	if ret.Op != OpPhi {
+		t.Fatalf("merged result %s, want phi", ret)
+	}
+	if got := len(ops(f, OpRecv)); got != 1 {
+		t.Fatalf("recv count %d, want 1", got)
+	}
+}
+
+func TestGoDeferMarked(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func work() {}
+func f() {
+	go work()
+	defer work()
+}`)
+	f := fnByName(t, funcs, "f")
+	var goN, deferN int
+	for _, c := range ops(f, OpCall) {
+		if c.GoCall {
+			goN++
+		}
+		if c.DeferCall {
+			deferN++
+		}
+	}
+	if goN != 1 || deferN != 1 {
+		t.Fatalf("go=%d defer=%d, want 1/1", goN, deferN)
+	}
+}
+
+func TestGotoImprecise(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func f() int {
+	i := 0
+loop:
+	i++
+	if i < 10 {
+		goto loop
+	}
+	return i
+}`)
+	f := fnByName(t, funcs, "f")
+	if !f.Imprecise {
+		t.Error("goto did not mark the function imprecise")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	funcs := buildSrc(t, `package x
+func f(a int) int { return a * 2 }`)
+	f := fnByName(t, funcs, "f")
+	ret := ops(f, OpReturn)[0].Args[0]
+	s := ret.String()
+	if !strings.Contains(s, "bin *") {
+		t.Errorf("String() = %q, want operator rendered", s)
+	}
+}

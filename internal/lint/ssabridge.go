@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/ssa"
+)
+
+// SSA lazily lowers the package's functions to the dataflow IR; the
+// result is cached so the v2 analyzers share one lowering.
+func (p *Package) SSA() []*ssa.Func {
+	if !p.ssaBuilt {
+		p.ssaFuncs = ssa.BuildPackage(p.Files, p.Info, p.Types)
+		p.ssaBuilt = true
+	}
+	return p.ssaFuncs
+}
+
+// qualifiedTypeName renders a (possibly pointer-wrapped) named type as
+// "pkgpath.Name", or "" for anything unnamed.
+func qualifiedTypeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Named:
+			obj := tt.Obj()
+			if obj.Pkg() == nil {
+				return obj.Name()
+			}
+			return obj.Pkg().Path() + "." + obj.Name()
+		case nil:
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// addrType resolves the value type addressed by a path node, recovering
+// element/field types for the type-less FieldAddr/IndexAddr links.
+func addrType(v *ssa.Value) types.Type {
+	if v == nil {
+		return nil
+	}
+	if v.Type != nil {
+		return v.Type
+	}
+	switch v.Op {
+	case ssa.OpFieldAddr:
+		if v.Field != nil {
+			return v.Field.Type()
+		}
+	case ssa.OpIndexAddr:
+		bt := addrType(arg(v, 0))
+		if bt == nil {
+			return nil
+		}
+		if ptr, ok := bt.Underlying().(*types.Pointer); ok {
+			bt = ptr.Elem()
+		}
+		switch u := bt.Underlying().(type) {
+		case *types.Slice:
+			return u.Elem()
+		case *types.Array:
+			return u.Elem()
+		case *types.Map:
+			return u.Elem()
+		}
+	}
+	return nil
+}
+
+func arg(v *ssa.Value, i int) *ssa.Value {
+	if i >= len(v.Args) {
+		return nil
+	}
+	return v.Args[i]
+}
+
+// fieldOwnerName renders the qualified type name that a FieldAddr's
+// field belongs to.
+func fieldOwnerName(fa *ssa.Value) string {
+	return qualifiedTypeName(addrType(arg(fa, 0)))
+}
+
+// fieldSpec is a parsed "(pkgpath.Type).Field" configuration entry.
+type fieldSpec struct {
+	owner, field string
+}
+
+func parseFieldSpecs(specs []string) []fieldSpec {
+	var out []fieldSpec
+	for _, s := range specs {
+		if !strings.HasPrefix(s, "(") {
+			continue
+		}
+		rest := s[1:]
+		i := strings.Index(rest, ").")
+		if i < 0 {
+			continue
+		}
+		out = append(out, fieldSpec{owner: rest[:i], field: rest[i+2:]})
+	}
+	return out
+}
+
+// matchesFieldSpec reports whether a FieldAddr selects one of the
+// configured fields.
+func matchesFieldSpec(fa *ssa.Value, specs []fieldSpec) bool {
+	if fa.Op != ssa.OpFieldAddr || fa.Field == nil {
+		return false
+	}
+	owner := fieldOwnerName(fa)
+	for _, s := range specs {
+		if s.field == fa.Field.Name() && s.owner == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// ssaCalleeFullName renders a static callee the way the configuration
+// lists refer to it: types.Func.FullName form, or the bare name for
+// builtins.
+func ssaCalleeFullName(v *ssa.Value) string {
+	if v.Op != ssa.OpCall || v.Callee == nil {
+		return ""
+	}
+	if fn, ok := v.Callee.(*types.Func); ok {
+		return fn.FullName()
+	}
+	return v.Callee.Name()
+}
+
+// ssaCalleePkgPath returns the package path of a static callee, or "".
+func ssaCalleePkgPath(v *ssa.Value) string {
+	if v.Op != ssa.OpCall || v.Callee == nil {
+		return ""
+	}
+	if pkg := v.Callee.Pkg(); pkg != nil {
+		return pkg.Path()
+	}
+	return ""
+}
+
+func stringSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}

@@ -1,0 +1,53 @@
+package lint
+
+import "fmt"
+
+// StaleAllowAnalyzer names the stale-annotation check so it appears in
+// -list output and can be selected by name. The detection itself runs as
+// an epilogue in Run after every other analyzer has had the chance to
+// mark annotations used, so Run here is a no-op.
+var StaleAllowAnalyzer = &Analyzer{
+	Name: "staleallow",
+	Doc: "reports //simlint:allow annotations that suppress nothing: a stale allow is a false claim " +
+		"about the code next to it. An annotation is judged only against checks that actually ran on " +
+		"its package; unknown check names are always reported.",
+	Run: func(*Pass) {},
+}
+
+// staleAllowDiags inspects every annotation of a package after the
+// analyzers ran and reports the entries that fired for no finding.
+func staleAllowDiags(allow *allowIndex, active []*Analyzer) []Diagnostic {
+	activeNames := map[string]bool{}
+	for _, a := range active {
+		activeNames[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	report := func(note *allowNote, format string, args ...interface{}) {
+		out = append(out, Diagnostic{
+			Pos:      note.pos,
+			Analyzer: StaleAllowAnalyzer.Name,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, note := range allow.notes {
+		for _, chk := range note.checks {
+			switch {
+			case chk == "all":
+				if len(note.used) == 0 {
+					report(note, "stale //simlint:allow all: no check reports anything here")
+				}
+			case !known[chk]:
+				report(note, "unknown check %q in //simlint:allow annotation", chk)
+			case !activeNames[chk]:
+				// The check did not run on this package; not judged.
+			case !note.used[chk]:
+				report(note, "stale //simlint:allow %s: the check reports nothing here", chk)
+			}
+		}
+	}
+	return out
+}

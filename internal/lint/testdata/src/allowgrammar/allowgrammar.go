@@ -1,0 +1,23 @@
+// Package allowgrammar exercises the //simlint:allow grammar: multi-
+// check lists, the "all" wildcard, and line scoping.
+package allowgrammar
+
+import "time"
+
+// A multi-check annotation suppresses each listed check.
+func multi() time.Time {
+	return time.Now() //simlint:allow wallclock,errcheck — fixture
+}
+
+// The "all" wildcard suppresses every check on the covered lines.
+func wildcard() time.Time {
+	//simlint:allow all — fixture
+	return time.Now()
+}
+
+// An annotation covers its own line and the next one, nothing further.
+func beyond() time.Time {
+	//simlint:allow wallclock — fixture
+	_ = 0
+	return time.Now() // want "wall clock"
+}

@@ -1,0 +1,8 @@
+// Package rngx stands in for the splittable RNG wrapper: New is the
+// configured stream-derivation point.
+package rngx
+
+type Stream struct{ key uint64 }
+
+// New derives an independent stream from key.
+func New(key uint64) *Stream { return &Stream{key: key} }

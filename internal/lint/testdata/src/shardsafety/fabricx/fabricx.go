@@ -1,0 +1,14 @@
+// Package fabricx stands in for the fabric link layer: the sanctioned
+// channel for cross-node effects, exempt from shardsafety itself.
+package fabricx
+
+import root "shardsafety"
+
+type Fabric struct {
+	nodes []*root.Node
+}
+
+// Deliver performs the cross-node store the link layer exists for.
+func (f *Fabric) Deliver(i, v int) {
+	f.nodes[i].Val = v // the link layer may write any node's state
+}

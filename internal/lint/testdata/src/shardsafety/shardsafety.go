@@ -1,0 +1,67 @@
+// Package shardsafety exercises the cross-node write analyzer. Node is
+// the configured node-state type; Net owns a fleet of them.
+package shardsafety
+
+type Node struct {
+	Val  int
+	Seq  uint64
+	peer *Node
+}
+
+type Net struct {
+	nodes []*Node
+}
+
+// NewNet wires the nodes it just built: locally built state is owned,
+// even through element lookups.
+func NewNet(k int) *Net {
+	n := &Net{nodes: make([]*Node, k)}
+	for i := range n.nodes {
+		n.nodes[i] = &Node{}
+	}
+	for i := range n.nodes {
+		n.nodes[i].Val = i
+		n.nodes[i].peer = n.nodes[(i+1)%k]
+	}
+	return n
+}
+
+// Bump mutates the receiver: an owned write.
+func (d *Node) Bump() { d.Val++ }
+
+// Touch mutates a handle it was handed: the caller's responsibility.
+func Touch(d *Node) { d.Seq++ }
+
+// Poke writes through a collection lookup.
+func (n *Net) Poke(i int) {
+	n.nodes[i].Val = 9 // want "owned by another node"
+}
+
+// PokeVia stores the looked-up handle in a local first.
+func (n *Net) PokeVia(i int) {
+	d := n.nodes[i]
+	d.Val = 9 // want "owned by another node"
+}
+
+// PokeCaptured hides the handle in a captured variable; the write is
+// still rooted in the lookup.
+func (n *Net) PokeCaptured(i int) {
+	d := n.nodes[i]
+	fire(func() {
+		d.Seq++ // want "owned by another node"
+	})
+}
+
+// Sweep writes through an iteration handle.
+func (n *Net) Sweep() {
+	for _, d := range n.nodes {
+		d.Val = 0 // want "owned by another node"
+	}
+}
+
+// Hop writes through a node-to-node pointer field.
+func Hop(d *Node) {
+	d.peer.Val = 3 // want "owned by another node"
+}
+
+func fire(f func()) { f() }

@@ -1,0 +1,36 @@
+// Package staleallow exercises annotation-hygiene detection: allows
+// that suppress nothing, unknown check names, and the active-set guard
+// (an annotation is only judged against checks that actually ran).
+package staleallow
+
+import "time"
+
+// A used allow: wallclock fires here and is suppressed.
+func used() time.Time {
+	return time.Now() //simlint:allow wallclock — fixture
+}
+
+// A stale allow: nothing on the covered lines triggers wallclock.
+func stale() int {
+	//simlint:allow wallclock — fixture
+	return 1
+}
+
+// A misspelled check name is always reported.
+func unknown() int {
+	//simlint:allow wallclocks — fixture
+	return 2
+}
+
+// A stale wildcard: no check reports anything here.
+func wildcard() int {
+	//simlint:allow all — fixture
+	return 3
+}
+
+// goroutine is a known check but does not run in this test's active
+// set, so its entry is not judged; the used wallclock entry keeps the
+// note live.
+func mixed() time.Time {
+	return time.Now() //simlint:allow wallclock,goroutine — fixture
+}

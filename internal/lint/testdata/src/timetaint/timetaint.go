@@ -1,0 +1,63 @@
+// Package timetaint exercises the host-clock taint analyzer. Engine
+// stands in for the sim engine (After/At are the configured scheduling
+// sinks), Result for the artifact payload type.
+package timetaint
+
+import (
+	"time"
+
+	"timetaint/sink"
+	"timetaint/unitsx"
+)
+
+type Engine struct{}
+
+func (e *Engine) After(ticks int64, f func()) {}
+func (e *Engine) At(tick int64, f func())     {}
+
+type Result struct {
+	Events int64
+	Wall   time.Duration
+	Label  string
+}
+
+// Convert reinterprets a host-clock duration as sim-time.
+func Convert(t0 time.Time) unitsx.Duration {
+	return unitsx.Duration(time.Since(t0)) // want "host-clock value converted to sim-time"
+}
+
+// Reverse reinterprets sim-time as a host-clock duration.
+func Reverse(d unitsx.Duration) time.Duration {
+	return time.Duration(d) // want "sim-time value converted to host-time"
+}
+
+// Schedule derives an event time from the wall clock.
+func Schedule(e *Engine) {
+	e.After(time.Now().UnixNano(), func() {}) // want "flows into sim scheduling call"
+}
+
+// ScheduleSim schedules from sim-derived ticks: clean.
+func ScheduleSim(e *Engine, d unitsx.Duration) {
+	e.After(int64(d), func() {})
+}
+
+// Record persists wall time in the comparison payload; the laundering
+// through a local does not wash the taint off.
+func Record(r *Result, t0 time.Time) {
+	elapsed := time.Since(t0)
+	r.Wall = elapsed // want "stored in artifact payload field"
+	r.Events = 7
+	r.Label = "ok"
+}
+
+// Report feeds a host-clock-derived value to report output.
+func Report(t0 time.Time) {
+	sink.Emit(time.Since(t0).Seconds()) // want "flows into report output"
+	sink.Emit(3.5)
+}
+
+// Pace uses host time for retry pacing without touching any sink: a
+// host-time value may exist, it just must not reach the sim.
+func Pace(t0 time.Time) bool {
+	return time.Since(t0) > 50*time.Millisecond
+}

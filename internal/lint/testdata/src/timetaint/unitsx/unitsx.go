@@ -1,0 +1,8 @@
+// Package unitsx stands in for the simulated-time units package.
+package unitsx
+
+// Duration is simulated time, unrelated to the host clock.
+type Duration int64
+
+// Time is a simulated timestamp.
+type Time int64

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/types"
+
+	"repro/internal/lint/ssa"
+)
+
+// TimeTaintAnalyzer taint-tracks host-clock values through the dataflow
+// IR. It subsumes wallclock's call-site ban with a flow property: a
+// time.Time/time.Duration may exist (progress lines, retry pacing,
+// timeouts) but must never reach a sim scheduling call, an artifact
+// payload field, or report output. Symmetrically, conversions between
+// the sim-time package's types and the host time types are flagged in
+// both directions — the two clock domains must not mix.
+var TimeTaintAnalyzer = &Analyzer{
+	Name: "timetaint",
+	Doc: "tracks time.Time/time.Duration values from host-clock sources (time.Now/Since, host-time " +
+		"fields, parameters, receives) through assignments, fields, and closures; flags any flow into " +
+		"sim scheduling calls, artifact payload fields, or report output, and any conversion between " +
+		"host time types and the simulated-time units types.",
+	Run: runTimeTaint,
+}
+
+// isHostTime reports whether t is one of the host clock's types.
+func isHostTime(t types.Type) bool {
+	switch qualifiedTypeName(t) {
+	case "time.Time", "time.Duration":
+		return true
+	}
+	return false
+}
+
+func runTimeTaint(pass *Pass) {
+	cfg := pass.Cfg
+	sinkCalls := stringSet(cfg.TimeSinkCalls)
+	sinkPkgs := stringSet(cfg.TimeSinkPkgs)
+	payload := stringSet(cfg.TimePayloadTypes)
+	isSimTime := func(t types.Type) bool {
+		switch qualifiedTypeName(t) {
+		case cfg.SimTimePkg + ".Time", cfg.SimTimePkg + ".Duration":
+			return cfg.SimTimePkg != ""
+		}
+		return false
+	}
+
+	// Sources: any value of host-time type that enters the function from
+	// outside pure computation. Conversions are excluded so that
+	// constructing a duration from an integer (3 * time.Second) is not a
+	// source; the clock has to be involved.
+	isSource := func(v *ssa.Value) bool {
+		switch v.Op {
+		case ssa.OpCall, ssa.OpParam, ssa.OpRecv, ssa.OpRangeKey, ssa.OpRangeVal, ssa.OpLoad, ssa.OpExtract:
+			return isHostTime(v.Type)
+		}
+		return false
+	}
+	// Calls that forward taint from arguments to result: the time and
+	// sim-time packages' own arithmetic, formatting helpers, builtins,
+	// and calls through function values (unknown targets stay
+	// conservative).
+	propagates := func(v *ssa.Value) bool {
+		if v.Callee == nil {
+			return true
+		}
+		if _, builtin := v.Callee.(*types.Builtin); builtin {
+			return true
+		}
+		switch ssaCalleePkgPath(v) {
+		case "time", "fmt", "strconv", "math", cfg.SimTimePkg:
+			return true
+		}
+		return false
+	}
+
+	funcs := pass.SSA()
+	taint := ssa.Propagate(funcs, isSource, propagates)
+
+	// payloadField walks an address path and returns the first field
+	// belonging to a configured payload type, so stores through nested
+	// paths (a.Meta.WallMS, rows[i].Cells) are attributed.
+	payloadField := func(addr *ssa.Value) (string, string) {
+		for addr != nil {
+			if addr.Op == ssa.OpFieldAddr && addr.Field != nil {
+				if owner := fieldOwnerName(addr); payload[owner] {
+					return owner, addr.Field.Name()
+				}
+			}
+			addr = arg(addr, 0)
+		}
+		return "", ""
+	}
+
+	for _, f := range funcs {
+		f.Tree(func(fn *ssa.Func) {
+			fn.AllValues(func(v *ssa.Value) {
+				switch v.Op {
+				case ssa.OpConvert:
+					a := arg(v, 0)
+					if a == nil {
+						return
+					}
+					if isSimTime(v.Type) && (isHostTime(a.Type) || taint.Value(a)) {
+						pass.Reportf(v.Pos, "host-clock value converted to sim-time %s: the two clock domains must not mix", qualifiedTypeName(v.Type))
+					} else if isHostTime(v.Type) && isSimTime(a.Type) {
+						pass.Reportf(v.Pos, "sim-time value converted to host-time %s: the two clock domains must not mix", qualifiedTypeName(v.Type))
+					}
+				case ssa.OpCall:
+					full := ssaCalleeFullName(v)
+					operands := v.Args
+					if v.HasRecv && len(operands) > 0 {
+						operands = operands[1:]
+					}
+					if sinkCalls[full] {
+						for _, a := range operands {
+							if taint.Value(a) {
+								pass.Reportf(v.Pos, "host-clock value flows into sim scheduling call %s", full)
+								break
+							}
+						}
+						return
+					}
+					if pkg := ssaCalleePkgPath(v); pkg != "" && sinkPkgs[pkg] {
+						for _, a := range v.Args {
+							if taint.Value(a) {
+								pass.Reportf(v.Pos, "host-clock value flows into report output (%s)", full)
+								break
+							}
+						}
+					}
+				case ssa.OpStore:
+					val := arg(v, 1)
+					if val == nil || !taint.Value(val) {
+						return
+					}
+					if owner, field := payloadField(arg(v, 0)); owner != "" {
+						pass.Reportf(v.Pos, "host-clock value stored in artifact payload field %s.%s", owner, field)
+					}
+				}
+			})
+		})
+	}
+}

@@ -331,6 +331,7 @@ func (r *Rank) shmSend(dst, tag, ctx int, size units.Bytes, payload interface{})
 	msg := &shmMsg{env: match.Envelope{Src: r.id, Tag: tag, Ctx: ctx}, size: size, payload: payload}
 	peer := r.world.ranks[dst]
 	r.world.eng.After(r.world.cfg.ShmLatency, func() {
+		//simlint:allow shardsafety — shared-memory delivery is intra-node by construction: sender and receiver ranks live on the same host, so they land in the same shard
 		peer.shm.arrived = append(peer.shm.arrived, msg)
 		peer.Kick()
 	})

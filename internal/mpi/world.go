@@ -100,6 +100,7 @@ func (w *World) Run(app func(r *Rank)) (*Result, error) {
 	res := &Result{RankElapsed: make([]units.Duration, w.cfg.Ranks)}
 	for _, r := range w.ranks {
 		r := r
+		//simlint:allow shardsafety — single-threaded setup: Run wires the procs of the ranks the world owns before any simulated traffic exists
 		r.proc = w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			app(r)
 			res.RankElapsed[r.id] = p.Now().Sub(start)

@@ -256,7 +256,7 @@ func (p *Pool) runWithRetries(ctx context.Context, job Job) Result {
 		r = p.runJob(ctx, job)
 		r.Attempts = attempt + 1
 	}
-	r.Wall = time.Since(start) //simlint:allow wallclock — Wall is diagnostic
+	r.Wall = time.Since(start) //simlint:allow wallclock,timetaint — Wall is diagnostic
 	return r
 }
 
@@ -302,13 +302,13 @@ func (p *Pool) runJob(ctx context.Context, job Job) Result {
 	}()
 	select {
 	case r := <-ch:
-		r.ID, r.Labels, r.Wall = job.ID, job.Labels, time.Since(start) //simlint:allow wallclock — Wall is diagnostic
+		r.ID, r.Labels, r.Wall = job.ID, job.Labels, time.Since(start) //simlint:allow wallclock,timetaint — Wall is diagnostic
 		return r
 	case <-timerC:
 		// Abandon the job: its context is cancelled so a cooperative
 		// closure unwinds soon, and a runaway simulation finishes into the
 		// buffered channel without blocking a worker.
-		//simlint:allow wallclock — Wall is diagnostic
+		//simlint:allow wallclock,timetaint — Wall is diagnostic
 		return Result{ID: job.ID, Labels: job.Labels, Wall: time.Since(start),
 			Err: &TimeoutError{JobID: job.ID, Limit: timeout}}
 	}

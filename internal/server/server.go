@@ -497,6 +497,7 @@ func (s *Server) execute(j *job) func(ctx context.Context) (interface{}, error) 
 				Jobs:      s.sweepJobs,
 				Seed:      j.spec.Seed,
 				GoVersion: runtime.Version(),
+				//simlint:allow timetaint — CreatedAt is provenance metadata, never an input to simulated results
 				CreatedAt: s.now().UTC().Format(time.RFC3339),
 				SimEvents: reg.Counter("sim.events_dispatched").Value(),
 			},
@@ -531,8 +532,10 @@ func (s *Server) watch(j *job, h *runner.Handle, jcancel context.CancelFunc) {
 		s.jobsFailed.Inc()
 	default:
 		a := r.Value.(*runner.Artifact)
+		//simlint:allow timetaint — WallMS is diagnostic throughput metadata
 		a.Meta.WallMS = float64(r.Wall) / float64(time.Millisecond)
 		if a.Meta.SimEvents > 0 && r.Wall > 0 {
+			//simlint:allow timetaint — EventsPerSec is diagnostic throughput metadata
 			a.Meta.EventsPerSec = float64(a.Meta.SimEvents) / r.Wall.Seconds()
 		}
 		if err := s.cache.Put(j.key, a); err != nil {
