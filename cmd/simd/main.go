@@ -44,6 +44,7 @@ func run() int {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8941", "listen address; port 0 picks an ephemeral port (printed on stdout)")
 		cacheDir   = flag.String("cache", ".simd-cache", "content-addressed artifact cache directory")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "artifact cache size budget in bytes; LRU entries are evicted once exceeded (0 = unbounded)")
 		workers    = flag.Int("workers", 0, "concurrently running experiments (0 = GOMAXPROCS)")
 		sweepJobs  = flag.Int("sweep-jobs", 0, "sweep-point concurrency inside each experiment (0 = GOMAXPROCS)")
 		queueDepth = flag.Int("queue", 64, "admission queue depth across both priority lanes")
@@ -58,16 +59,17 @@ func run() int {
 
 	logger := log.New(os.Stderr, "simd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
-		CacheDir:    *cacheDir,
-		Workers:     *workers,
-		SweepJobs:   *sweepJobs,
-		QueueDepth:  *queueDepth,
-		QuotaRate:   *rate,
-		QuotaBurst:  *burst,
-		SimTimeout:  *simTO,
-		Retries:     *retries,
-		CodeVersion: *version,
-		Logf:        logger.Printf,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Workers:       *workers,
+		SweepJobs:     *sweepJobs,
+		QueueDepth:    *queueDepth,
+		QuotaRate:     *rate,
+		QuotaBurst:    *burst,
+		SimTimeout:    *simTO,
+		Retries:       *retries,
+		CodeVersion:   *version,
+		Logf:          logger.Printf,
 	})
 	if err != nil {
 		logger.Print(err)

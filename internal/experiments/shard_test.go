@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestShardDeterminism is the end-to-end guard for the parallel simulation
+// kernel: rendered tables must be byte-identical whether each machine's
+// event kernel runs serial or sharded with conservative lookahead, at any
+// shard count. The representative set covers the paths that exercise
+// distinct cross-shard machinery:
+//
+//   - fig5: IB-only multi-node Sweep3D — the rendezvous protocol's
+//     requester-side completions (fabric.NotifyDelivered) crossing shards.
+//     This experiment caught the window-overrun kernel bug the dynamic
+//     post-cap in sim.runWindow/post now guards against.
+//   - fig6: CG on both networks — Elan NIC-side matching plus IB eager
+//     traffic under collective patterns.
+//   - xscale: the widest fabrics in the suite, so chunk hops cross
+//     inj/up/down/ej ownership boundaries on many shards at once.
+//
+// Shards beyond a machine's node count clamp (platform.Options.Shards), so
+// shards=8 also covers the clamping path on small machines.
+func TestShardDeterminism(t *testing.T) {
+	for _, id := range []string{"fig5", "fig6", "xscale"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := e.Run(Options{Quick: true, Jobs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := serial.String()
+			for _, shards := range []int{2, 4, 8} {
+				sharded, err := e.Run(Options{Quick: true, Jobs: 2, Shards: shards})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := sharded.String(); got != want {
+					t.Fatalf("shards=1 and shards=%d disagree:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+						shards, want, shards, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardFaultDeterminism runs the sharded kernel under fault plans: loss
+// draws, transport retransmission timers, and drop retirements all cross
+// shard boundaries, and the rendered tables must still match the serial
+// kernel bit for bit. xfault builds its own plans (including the IB retry
+// ladder under injection-link loss — the exact scenario where a window
+// overrun once exhausted the retry budget); fig1b runs MiB-scale messages
+// under an explicit low-rate loss plan.
+func TestShardFaultDeterminism(t *testing.T) {
+	cases := []struct {
+		id     string
+		faults string
+	}{
+		{"xfault", ""},
+		{"fig1b", "loss:all:p=0.00001;degrade:inj(0):bw=0.7:lat=500ns"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Get(c.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := e.Run(Options{Quick: true, Jobs: 1, Faults: c.faults})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := e.Run(Options{Quick: true, Jobs: 8, Shards: 4, Faults: c.faults})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := serial.String(), sharded.String(); s != p {
+				t.Fatalf("shards=1 and shards=4 disagree under faults:\n--- shards=1 ---\n%s\n--- shards=4 ---\n%s", s, p)
+			}
+		})
+	}
+}

@@ -34,6 +34,7 @@ package fabric
 
 import (
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/units"
 )
@@ -66,7 +67,9 @@ func (lf *LinkFault) Active() bool {
 // Must be called before the run starts (fault plans call it at install).
 func (f *Fabric) EnableFaults(seed uint64) {
 	n := f.clos.NumLinks()
-	f.faults = make([]LinkFault, n)
+	if f.dom == nil {
+		f.locals[0].faults = make([]LinkFault, n)
+	}
 	f.lossRNG = make([]*rng.Source, n)
 	for i := range f.lossRNG {
 		// Decorrelate per-link streams: same mixing idea as splitmix64's
@@ -74,21 +77,28 @@ func (f *Fabric) EnableFaults(seed uint64) {
 		f.lossRNG[i] = rng.New(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
 	}
 	f.faultSeed = seed
+	f.faultsOn = true
 }
 
 // FaultsEnabled reports whether the fabric is in fault-injection mode.
 // Transports consult this to decide whether to arm recovery machinery
 // (retransmission timers change the event stream, so they are armed only
 // when faults can actually occur — default runs stay byte-identical).
-func (f *Fabric) FaultsEnabled() bool { return f.faults != nil }
+func (f *Fabric) FaultsEnabled() bool { return f.faultsOn }
 
 // SetLinkFault installs (or, with the zero LinkFault, clears) the fault
 // condition on one link, effective immediately. Any open coalescing window
 // whose path covers the link is expanded back to the exact chunk model
 // first, so the fault applies to every in-flight chunk individually.
 func (f *Fabric) SetLinkFault(id topology.LinkID, lf LinkFault) {
-	if f.faults == nil {
+	if !f.faultsOn {
 		panic("fabric: SetLinkFault before EnableFaults")
+	}
+	if f.dom != nil {
+		// Sharded fault state is the immutable timeline every shard reads
+		// through its own cursor; mutating it mid-run from one shard would
+		// race the others. Fault plans install timelines instead.
+		panic("fabric: SetLinkFault on a sharded fabric (install a fault plan timeline)")
 	}
 	for i := 0; i < len(f.windows); {
 		w := f.windows[i]
@@ -98,9 +108,9 @@ func (f *Fabric) SetLinkFault(id topology.LinkID, lf LinkFault) {
 		}
 		i++
 	}
-	f.faults[id] = lf
+	f.locals[0].faults[id] = lf
 	if lf.Active() {
-		f.faultWindows++
+		f.locals[0].faultWindows++
 		f.mFaultWin.Inc()
 	}
 }
@@ -113,10 +123,16 @@ func (f *Fabric) ClearLinkFault(id topology.LinkID) {
 // LinkFaultState returns the fault currently installed on the link (the
 // zero value when healthy or when fault injection is disabled).
 func (f *Fabric) LinkFaultState(id topology.LinkID) LinkFault {
-	if f.faults == nil {
+	if !f.faultsOn {
 		return LinkFault{}
 	}
-	return f.faults[id]
+	if f.dom != nil {
+		if lf := f.faultAt(0, id, f.dom.Shard(0).Now()); lf != nil {
+			return *lf
+		}
+		return LinkFault{}
+	}
+	return f.locals[0].faults[id]
 }
 
 // FaultStats reports fault-injection totals since construction.
@@ -138,15 +154,18 @@ type FaultStats struct {
 	FaultWindows uint64
 }
 
-// FaultStats returns the fault-injection totals.
+// FaultStats returns the fault-injection totals, summed across shards.
 func (f *Fabric) FaultStats() FaultStats {
-	return FaultStats{
-		ChunksLost:      f.chunksLost,
-		ChunksRetried:   f.chunksRetried,
-		ChunksRerouted:  f.chunksRerouted,
-		MessagesDropped: f.messagesDropped,
-		FaultWindows:    f.faultWindows,
+	var fs FaultStats
+	for i := range f.locals {
+		l := &f.locals[i]
+		fs.ChunksLost += l.chunksLost
+		fs.ChunksRetried += l.chunksRetried
+		fs.ChunksRerouted += l.chunksRerouted
+		fs.MessagesDropped += l.messagesDropped
+		fs.FaultWindows += l.faultWindows
 	}
+	return fs
 }
 
 // pathFaulted reports whether any link of the path currently carries an
@@ -156,15 +175,99 @@ func (f *Fabric) FaultStats() FaultStats {
 // spine-crossing paths the placeholder up/down stages are checked too,
 // which is conservative — such paths never coalesce anyway.
 func (f *Fabric) pathFaulted(pt *path) bool {
-	if f.faults == nil {
+	if !f.faultsOn {
 		return false
 	}
+	// Serial-only caller (the coalescing gate), so locals[0] is the state.
 	for i := 0; i < pt.n; i++ {
-		if l := pt.stages[i].link; l >= 0 && f.faults[l].Active() {
+		if l := pt.stages[i].link; l >= 0 && f.locals[0].faults[l].Active() {
 			return true
 		}
 	}
 	return false
+}
+
+// linkFault resolves the fault condition governing link at eng's current
+// time, or nil when the link is healthy (or not a fabric link). eng must
+// be the engine executing the lookup — its shard's timeline cursor is
+// advanced, which is safe exactly because each shard's clock is monotonic.
+func (f *Fabric) linkFault(eng *sim.Engine, link topology.LinkID) *LinkFault {
+	if !f.faultsOn || link < 0 {
+		return nil
+	}
+	if f.dom == nil {
+		if x := &f.locals[0].faults[link]; x.Active() {
+			return x
+		}
+		return nil
+	}
+	return f.faultAt(eng.ShardID(), link, eng.Now())
+}
+
+// FaultStep is one boundary of a link's piecewise-constant fault history:
+// the composed fault condition taking effect At that instant. Fault plans
+// (internal/fault) compile their windows into per-link FaultStep lists for
+// sharded fabrics.
+type FaultStep struct {
+	At units.Time
+	LF LinkFault
+}
+
+// faultAt walks shard sh's cursor for the link forward to t and returns
+// the active fault, or nil when healthy. Matches the serial semantics
+// exactly: a boundary at time B is applied before any same-instant
+// traffic, because the lookup happens from the traffic's own event at
+// t >= B.
+func (f *Fabric) faultAt(sh int, link topology.LinkID, t units.Time) *LinkFault {
+	tl := f.faultTimeline[link]
+	if len(tl) == 0 {
+		return nil
+	}
+	cur := &f.locals[sh].faultCursor[link]
+	for *cur+1 < len(tl) && tl[*cur+1].At <= t {
+		*cur++
+	}
+	if *cur < 0 || tl[*cur].At > t {
+		return nil
+	}
+	if lf := &tl[*cur].LF; lf.Active() {
+		return lf
+	}
+	return nil
+}
+
+// InstallFaultTimeline arms fault injection on a sharded fabric with a
+// precomputed per-link fault history: steps[link] lists, time-sorted, the
+// fault condition taking effect at each boundary. Each shard reads the
+// shared immutable timeline through a private cursor, so fault state needs
+// no cross-shard writes at all. To keep the dispatched-event count and the
+// FaultWindows accounting identical to the serial kernel (which schedules
+// one SetLinkFault event per boundary), one counted event per boundary is
+// scheduled on the link's owner shard. Must be called before the run.
+func (f *Fabric) InstallFaultTimeline(seed uint64, steps [][]FaultStep) {
+	if f.dom == nil {
+		panic("fabric: InstallFaultTimeline on a serial fabric")
+	}
+	f.EnableFaults(seed)
+	f.faultTimeline = steps
+	for i := range f.locals {
+		f.locals[i].faultCursor = make([]int, len(steps))
+		for j := range f.locals[i].faultCursor {
+			f.locals[i].faultCursor[j] = -1
+		}
+	}
+	for link := range steps {
+		eng := f.linkEng[link]
+		sh := eng.ShardID()
+		for _, st := range steps[link] {
+			active := st.LF.Active()
+			eng.At(st.At, func() {
+				if active {
+					f.locals[sh].faultWindows++
+				}
+			})
+		}
+	}
 }
 
 // chooseSpine picks the spine for one chunk of an adaptive fabric:
@@ -174,14 +277,21 @@ func (f *Fabric) pathFaulted(pt *path) bool {
 // reports whether any spine was skipped; if every spine is down the
 // original choice is returned un-skipped and the caller's down-link
 // handling stalls the chunk until one recovers.
-func (f *Fabric) chooseSpine(srcLeaf, dstLeaf int) (spine int, rerouted bool) {
-	if f.faults == nil {
+func (f *Fabric) chooseSpine(eng *sim.Engine, srcLeaf, dstLeaf int) (spine int, rerouted bool) {
+	if !f.faultsOn {
 		return f.leastLoadedSpine(srcLeaf), false
+	}
+	// eng is the uplink stage's engine — the only shard that serves this
+	// leaf's uplinks, so BusyUntil reads are owner-local; down-link Down
+	// state comes through this shard's own timeline cursor.
+	down := func(id topology.LinkID) bool {
+		lf := f.linkFault(eng, id)
+		return lf != nil && lf.Down
 	}
 	best, bestAt := -1, units.Forever
 	skipped := false
 	for s := 0; s < f.clos.Spines; s++ {
-		if f.faults[f.clos.Up(srcLeaf, s)].Down || f.faults[f.clos.Down(s, dstLeaf)].Down {
+		if down(f.clos.Up(srcLeaf, s)) || down(f.clos.Down(s, dstLeaf)) {
 			skipped = true
 			continue
 		}
@@ -200,13 +310,31 @@ func (f *Fabric) chooseSpine(srcLeaf, dstLeaf int) (spine int, rerouted bool) {
 // fires once every chunk has drained. Chunks of the message already past
 // this hop (or behind it) continue to consume link time — the bytes were
 // on the wire — but deliver nothing.
+//
+// Under sharding the message's abort flag and remaining count are owned
+// by the destination shard, so a drop on any other shard retires the
+// chunk into the local pool and posts an uncounted abortRetire to the
+// owner one lookahead ahead — the earliest instant the loss could have
+// become visible there anyway, since the chunk had at least one more
+// serialization between it and the destination.
 func (f *Fabric) dropMessage(cs *chunkState) {
 	ms := cs.ms
+	eng := cs.eng
+	f.putChunk(cs)
+	if f.dom != nil && eng != ms.eng {
+		eng.PostUncounted(ms.eng, eng.Now().Add(f.dom.Lookahead()), func() { f.abortRetire(ms) })
+		return
+	}
+	f.abortRetire(ms)
+}
+
+// abortRetire marks ms aborted (counting the dropped message once) and
+// retires one chunk's share of it. Always runs on the shard owning ms.
+func (f *Fabric) abortRetire(ms *msgState) {
 	if !ms.aborted {
 		ms.aborted = true
-		f.messagesDropped++
+		f.locals[ms.shard].messagesDropped++
 		f.mMsgsDropped.Inc()
 	}
-	f.putChunk(cs)
 	ms.chunkDelivered()
 }

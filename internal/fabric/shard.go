@@ -1,0 +1,220 @@
+package fabric
+
+// Spatial sharding of the fabric over a sim.Sharded domain.
+//
+// Partition rule: nodes are split into contiguous blocks, node n belonging
+// to shard n*S/N. Ownership follows endpoints: a node's injection and
+// ejection links and its host bus belong to the node's shard, and a leaf's
+// uplinks and downlinks belong to the shard of the leaf's first node. Every
+// stage server is therefore mutated by exactly one shard, and a chunk hop
+// crosses shards only at inj->up, up->down, and down->ej boundaries — all
+// of which sit behind at least one packet serialization plus a wire
+// latency, which is where the domain lookahead comes from (Lookahead).
+//
+// Cross-shard work travels exclusively through sim.Post at analytically
+// known future times: chunk hop arrivals (the next stage's start time is
+// fixed the moment the previous stage finishes serving), message-drop
+// retirements (posted one lookahead ahead), and delivery notifications
+// (NotifyDelivered: the final stage's step event knows the delivery time
+// one full stage early). Per-shard counters and free pools (shardLocal)
+// keep all remaining bookkeeping single-writer.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// shardLocal is the mutable per-shard slice of fabric state. A serial
+// fabric has exactly one, so shared code indexes it with ShardID() (always
+// zero on a standalone engine).
+type shardLocal struct {
+	messages uint64
+	bytes    units.Bytes
+
+	chunksLost      uint64
+	chunksRetried   uint64
+	chunksRerouted  uint64
+	messagesDropped uint64
+	faultWindows    uint64
+
+	// Free lists for the per-message and per-chunk scheduling state, so
+	// steady-state Send/chunk traffic allocates nothing. Pool contents
+	// never escape the fabric, so reuse cannot leak state across messages
+	// (every field is reset on get). State allocated on one shard may
+	// retire into another shard's pool; that is fine — pools are pushed
+	// and popped only by their owner shard.
+	freeChunks []*chunkState
+	freeMsgs   []*msgState
+
+	// Serial-mode mutable fault state (locals[0] only), driven by
+	// SetLinkFault events. Sharded fabrics use Fabric.faultTimeline.
+	faults []LinkFault
+
+	// Per-link cursors into Fabric.faultTimeline for this shard's
+	// monotonic clock (sharded fault mode only).
+	faultCursor []int
+
+	// Most recent Send issued from this shard, for NotifyDelivered
+	// registration (valid only synchronously within the sending event).
+	lastMsg  *msgState
+	lastDone *sim.Signal
+}
+
+// NewSharded builds a fabric whose stages are partitioned over the shards
+// of dom. A single-shard domain yields a plain serial fabric on shard 0's
+// engine. Sharded fabrics force coalescing off (windows reach across
+// shard-owned servers) and do not support metrics registries or tracing.
+func NewSharded(dom *sim.Sharded, nodes, radix int, params Params) (*Fabric, error) {
+	if dom.NumShards() == 1 {
+		return New(dom.Shard(0), nodes, radix, params)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	clos, err := topology.NewClos(nodes, radix)
+	if err != nil {
+		return nil, err
+	}
+	s := dom.NumShards()
+	if s > nodes {
+		return nil, fmt.Errorf("fabric: %d shards for %d nodes (clamp shards above the fabric)", s, nodes)
+	}
+	f := &Fabric{eng: dom.Shard(0), clos: clos, params: params, dom: dom}
+	f.locals = make([]shardLocal, s)
+	f.shardOf = make([]int, nodes)
+	f.nodeEng = make([]*sim.Engine, nodes)
+	for n := 0; n < nodes; n++ {
+		f.shardOf[n] = n * s / nodes
+		f.nodeEng[n] = dom.Shard(f.shardOf[n])
+	}
+	f.linkEng = make([]*sim.Engine, clos.NumLinks())
+	f.links = make([]*sim.Server, clos.NumLinks())
+	for id := range f.links {
+		eng := f.linkOwner(topology.LinkID(id))
+		f.linkEng[id] = eng
+		f.links[id] = eng.NewServer(fmt.Sprintf("link%d", id))
+	}
+	if params.HostBandwidth > 0 {
+		f.hosts = make([]*sim.Server, nodes)
+		for i := range f.hosts {
+			f.hosts[i] = f.nodeEng[i].NewServer(fmt.Sprintf("pci%d", i))
+		}
+		f.hostUsers = make([]int32, nodes)
+	}
+	f.linkUsers = make([]int32, clos.NumLinks())
+	f.coalesce = false
+	dom.SetLookahead(f.Lookahead())
+	return f, nil
+}
+
+// linkOwner maps a link to its owner engine under the partition rule.
+func (f *Fabric) linkOwner(id topology.LinkID) *sim.Engine {
+	class, a, _ := f.clos.ClassifyLink(id)
+	switch class {
+	case topology.LinkInjection, topology.LinkEjection:
+		return f.nodeEng[a] // a is the node
+	default: // up/down: a is the leaf
+		return f.nodeEng[f.leafFirstNode(a)]
+	}
+}
+
+func (f *Fabric) leafFirstNode(leaf int) int {
+	n := leaf * f.clos.K
+	if n >= f.clos.Nodes {
+		n = f.clos.Nodes - 1
+	}
+	return n
+}
+
+// Sharded reports whether the fabric runs over a multi-shard domain.
+func (f *Fabric) Sharded() bool { return f.dom != nil }
+
+// Domain returns the sharded domain (nil for a serial fabric).
+func (f *Fabric) Domain() *sim.Sharded { return f.dom }
+
+// NodeEngine returns the engine that owns the given node's state: the
+// shard engine under sharding, the fabric's single engine otherwise. NIC
+// and transport models for a node must schedule on this engine.
+func (f *Fabric) NodeEngine(node int) *sim.Engine {
+	if f.nodeEng == nil {
+		return f.eng
+	}
+	return f.nodeEng[node]
+}
+
+// NodeShard reports the owner shard index of a node (0 on a serial fabric).
+func (f *Fabric) NodeShard(node int) int {
+	if f.shardOf == nil {
+		return 0
+	}
+	return f.shardOf[node]
+}
+
+// Lookahead reports the fabric's conservative cross-shard lookahead: the
+// minimum time between any event on one shard and the earliest effect it
+// can have on another. Every cross-shard hop pays at least one packet's
+// serialization on the stage preceding the boundary plus that stage's
+// post-serialization latency; the minimum over the stage kinds preceding a
+// boundary is min(one packet at link rate + wire latency, one packet at
+// host rate + host DMA latency) — the ejection stage has no chassis
+// traversal, so WireLatency alone is the link-stage floor, and the host
+// term participates because delivery notifications are posted from the
+// final host-bus stage.
+func (f *Fabric) Lookahead() units.Duration {
+	p := f.params
+	la := p.LinkBandwidth.TimeFor(p.PacketOverhead) + p.WireLatency
+	if p.HostBandwidth > 0 {
+		if h := p.HostBandwidth.TimeFor(p.PacketOverhead) + p.HostLatency; h < la {
+			la = h
+		}
+	}
+	return la
+}
+
+// stageEng returns the engine owning stage i of the path. Ownership is
+// spine-invariant for the up/down stages (all of a leaf's uplinks share an
+// owner), so the spine-0 placeholder stage is authoritative even before an
+// adaptive fabric picks the chunk's spine.
+func (f *Fabric) stageEng(pt *path, i int) *sim.Engine {
+	if f.dom == nil {
+		return f.eng
+	}
+	st := &pt.stages[i]
+	if st.link >= 0 {
+		return f.linkEng[st.link]
+	}
+	return f.nodeEng[st.host]
+}
+
+// deliveryNote is a cross-shard completion callback registered through
+// NotifyDelivered: fn runs on eng at the message's delivery time.
+type deliveryNote struct {
+	eng *sim.Engine
+	fn  func()
+}
+
+// NotifyDelivered registers fn to run when the message injected by the
+// immediately preceding Send call has fully delivered, in the context of
+// owner's shard. It must be called synchronously in the same event that
+// called Send, and owner must be the engine that event runs on — the
+// sending node's engine (source-side completion work is the purpose; the
+// destination side attaches to the done signal directly). On a serial
+// fabric it is exactly done.OnFire(fn). On a sharded fabric, callbacks
+// whose owner is the destination shard attach to the done signal as
+// usual; callbacks owned by any other shard are posted from the final
+// stage's step event of the last chunk — the moment the delivery time
+// becomes known, one full stage serve+latency ahead of it, which is what
+// makes the cross-shard post satisfy the lookahead contract. An aborted
+// message (fault drop) never notifies, exactly as its done signal never
+// fires.
+func (f *Fabric) NotifyDelivered(owner *sim.Engine, fn func()) {
+	l := &f.locals[owner.ShardID()]
+	if f.dom == nil || owner == l.lastMsg.eng {
+		l.lastDone.OnFire(fn)
+		return
+	}
+	l.lastMsg.notify = append(l.lastMsg.notify, deliveryNote{eng: owner, fn: fn})
+}

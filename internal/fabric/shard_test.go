@@ -1,0 +1,279 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// faultWin is one fault window of the sharded differential storms. Links
+// are sampled without replacement, so windows never overlap on a link and
+// the serial SetLinkFault schedule and the sharded timeline are trivially
+// the same piecewise-constant history.
+type faultWin struct {
+	link topology.LinkID
+	at   units.Time
+	dur  units.Duration
+	lf   LinkFault
+}
+
+// genFaultWins derives a deterministic fault schedule from seed: derate,
+// loss, and down windows on distinct links.
+func genFaultWins(nLinks int, seed uint64) []faultWin {
+	fr := rng.New(seed ^ 0xfa171)
+	used := make(map[int]bool)
+	var wins []faultWin
+	for w := 0; w < 6; w++ {
+		link := fr.Intn(nLinks)
+		for used[link] {
+			link = (link + 1) % nLinks
+		}
+		used[link] = true
+		var lf LinkFault
+		switch fr.Intn(3) {
+		case 0:
+			lf.BandwidthScale = 0.3 + 0.6*fr.Float64()
+			lf.ExtraLatency = units.Duration(fr.Intn(1000)) * units.Nanosecond
+		case 1:
+			lf.LossProb = 0.05 + 0.1*fr.Float64()
+		default:
+			lf.Down = true
+		}
+		wins = append(wins, faultWin{
+			link: topology.LinkID(link),
+			at:   units.Time(fr.Intn(60_000_000)),
+			dur:  units.Duration(10_000+fr.Intn(40_000)) * units.Nanosecond,
+			lf:   lf,
+		})
+	}
+	return wins
+}
+
+// runShardStorm runs the seeded storm traffic of runStorm on a fabric
+// partitioned over the given shard count (1 = the serial fabric) and
+// returns the outcome plus the kernel's counted event total. The traffic
+// schedule, and with faulty the fault schedule too, is a pure function of
+// seed, so outcomes across shard counts are directly comparable.
+func runShardStorm(t *testing.T, params Params, radix, nodes, shards int, seed uint64, faulty bool) (stormOutcome, uint64) {
+	t.Helper()
+	dom := sim.NewSharded(shards)
+	f, err := NewSharded(dom, nodes, radix, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetCoalescing(false) // compare against the exact chunk model
+
+	if faulty {
+		wins := genFaultWins(f.clos.NumLinks(), seed)
+		if f.Sharded() {
+			steps := make([][]FaultStep, f.clos.NumLinks())
+			for _, w := range wins {
+				steps[w.link] = []FaultStep{
+					{At: w.at, LF: w.lf},
+					{At: w.at.Add(w.dur), LF: LinkFault{}},
+				}
+			}
+			f.InstallFaultTimeline(seed, steps)
+		} else {
+			f.EnableFaults(seed)
+			eng := dom.Shard(0)
+			for _, w := range wins {
+				w := w
+				eng.At(w.at, func() { f.SetLinkFault(w.link, w.lf) })
+				eng.At(w.at.Add(w.dur), func() { f.ClearLinkFault(w.link) })
+			}
+		}
+	}
+
+	r := rng.New(seed)
+	sizes := []units.Bytes{0, 1, 500, 2 * units.KiB, 3000, 8 * units.KiB,
+		64 * units.KiB, 1 * units.MiB}
+	const msgs = 60
+	out := stormOutcome{fired: make([]units.Time, 2*msgs)}
+	// fired slots are written from the destination shard's goroutine;
+	// every slot is a distinct element and is written at most once, so
+	// concurrent shards never touch the same word.
+	record := func(slot int, done *sim.Signal, eng *sim.Engine) {
+		done.OnFire(func() { out.fired[slot] = eng.Now() })
+	}
+	for i := 0; i < msgs; i++ {
+		src := r.Intn(nodes)
+		dst := r.Intn(nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		size := sizes[r.Intn(len(sizes))]
+		at := units.Time(r.Intn(50_000_000))
+		slot := i
+		chained := r.Intn(3) == 0
+		replySize := sizes[r.Intn(len(sizes))]
+		f.NodeEngine(src).At(at, func() {
+			done := f.Send(src, dst, size)
+			record(slot, done, f.NodeEngine(dst))
+			if chained {
+				// Runs on dst's shard — the reply's source context.
+				done.OnFire(func() {
+					record(msgs+slot, f.Send(dst, src, replySize), f.NodeEngine(src))
+				})
+			}
+		})
+		if f.HostBus(src) != nil && r.Intn(4) == 0 {
+			node := r.Intn(nodes)
+			when := units.Time(r.Intn(50_000_000))
+			d := units.Duration(r.Intn(2000)) * units.Nanosecond
+			f.NodeEngine(node).At(when, func() { f.HostBus(node).Serve(d) })
+		}
+	}
+	if err := dom.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	out.final = dom.Shard(0).Now()
+	for _, srv := range f.links {
+		out.busy = append(out.busy, srv.BusyUntil())
+		out.total = append(out.total, srv.BusyTotal())
+		out.served = append(out.served, srv.Served())
+	}
+	for _, srv := range f.hosts {
+		out.busy = append(out.busy, srv.BusyUntil())
+		out.total = append(out.total, srv.BusyTotal())
+		out.served = append(out.served, srv.Served())
+	}
+	return out, dom.Events()
+}
+
+// diffOutcomes fails the test if two storm outcomes are not bit-identical.
+func diffOutcomes(t *testing.T, label string, want, got stormOutcome) {
+	t.Helper()
+	for i := range want.fired {
+		if want.fired[i] != got.fired[i] {
+			t.Fatalf("%s: msg %d delivered at %v, serial %v", label, i, got.fired[i], want.fired[i])
+		}
+	}
+	if want.final != got.final {
+		t.Fatalf("%s: final clock %v, serial %v", label, got.final, want.final)
+	}
+	for i := range want.busy {
+		if want.busy[i] != got.busy[i] || want.total[i] != got.total[i] ||
+			want.served[i] != got.served[i] {
+			t.Fatalf("%s: server %d accounting diverged (busy %v/%v total %v/%v served %d/%d)",
+				label, i, got.busy[i], want.busy[i], got.total[i], want.total[i],
+				got.served[i], want.served[i])
+		}
+	}
+}
+
+// TestShardStormExact is the tentpole determinism claim at the fabric
+// layer: across every experiment fabric configuration, randomized
+// contending traffic — clean and under fault schedules — delivers at
+// bit-identical times, leaves bit-identical per-server accounting, and
+// dispatches the same counted event total, at every shard count.
+func TestShardStormExact(t *testing.T) {
+	cases := []struct {
+		name   string
+		params Params
+		radix  int
+		nodes  int
+	}{
+		{"ib/chassis", ibTestParams(), 96, 8},
+		{"elan/chassis", elanTestParams(), 64, 8},
+		{"ib/2level", ibTestParams(), 8, 16},
+		{"elan/2level", elanTestParams(), 8, 16},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, faulty := range []bool{false, true} {
+				params := c.params
+				if faulty && params.Adaptive {
+					params.HWRetry = true
+					params.HWRetryDelay = 500 * units.Nanosecond
+				}
+				for seed := uint64(1); seed <= 2; seed++ {
+					serial, serialEvents := runShardStorm(t, params, c.radix, c.nodes, 1, seed, faulty)
+					for _, shards := range []int{2, 4, 8} {
+						label := fmt.Sprintf("faulty=%v seed=%d shards=%d", faulty, seed, shards)
+						got, gotEvents := runShardStorm(t, params, c.radix, c.nodes, shards, seed, faulty)
+						diffOutcomes(t, label, serial, got)
+						if gotEvents != serialEvents {
+							t.Fatalf("%s: %d counted events, serial %d", label, gotEvents, serialEvents)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardStormFaultStats checks the fault accounting side of the claim:
+// chunks lost, messages dropped, reroutes, retries, and fault windows are
+// shard-count-invariant.
+func TestShardStormFaultStats(t *testing.T) {
+	cases := []struct {
+		name   string
+		params Params
+		radix  int
+		nodes  int
+	}{
+		{"ib/drop-model", ibTestParams(), 8, 16},
+		{"elan/hw-retry", elanFaultParams(), 8, 16},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			run := func(shards int) FaultStats {
+				dom := sim.NewSharded(shards)
+				f, err := NewSharded(dom, c.nodes, c.radix, c.params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.SetCoalescing(false)
+				wins := genFaultWins(f.clos.NumLinks(), 7)
+				if f.Sharded() {
+					steps := make([][]FaultStep, f.clos.NumLinks())
+					for _, w := range wins {
+						steps[w.link] = []FaultStep{
+							{At: w.at, LF: w.lf}, {At: w.at.Add(w.dur), LF: LinkFault{}},
+						}
+					}
+					f.InstallFaultTimeline(7, steps)
+				} else {
+					f.EnableFaults(7)
+					for _, w := range wins {
+						w := w
+						dom.Shard(0).At(w.at, func() { f.SetLinkFault(w.link, w.lf) })
+						dom.Shard(0).At(w.at.Add(w.dur), func() { f.ClearLinkFault(w.link) })
+					}
+				}
+				r := rng.New(7)
+				for i := 0; i < 80; i++ {
+					src := r.Intn(c.nodes)
+					dst := r.Intn(c.nodes - 1)
+					if dst >= src {
+						dst++
+					}
+					size := units.Bytes(r.Intn(64 * 1024))
+					at := units.Time(r.Intn(70_000_000))
+					f.NodeEngine(src).At(at, func() { f.Send(src, dst, size) })
+				}
+				if err := dom.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return f.FaultStats()
+			}
+			want := run(1)
+			if want.ChunksLost == 0 && want.FaultWindows == 0 {
+				t.Fatal("fault schedule exercised nothing")
+			}
+			for _, shards := range []int{2, 4, 8} {
+				if got := run(shards); got != want {
+					t.Fatalf("shards=%d fault stats %+v, serial %+v", shards, got, want)
+				}
+			}
+		})
+	}
+}

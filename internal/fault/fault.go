@@ -100,7 +100,6 @@ func (p *Plan) Install(eng *sim.Engine, fab *fabric.Fabric) error {
 			return fmt.Errorf("fault: event %d has a negative time", i)
 		}
 	}
-	fab.EnableFaults(p.Seed)
 
 	// Group windows per link (slice-indexed: no map iteration anywhere
 	// near scheduling order).
@@ -109,26 +108,30 @@ func (p *Plan) Install(eng *sim.Engine, fab *fabric.Fabric) error {
 		e := &p.Events[i]
 		byLink[e.Link] = append(byLink[e.Link], e)
 	}
+
+	if fab.Sharded() {
+		// A sharded fabric reads fault state from an immutable precomputed
+		// timeline instead of SetLinkFault events: the composed fault at
+		// each boundary is a pure function of the plan, so it is evaluated
+		// here, once, and every shard walks the shared history through a
+		// private cursor. The fabric schedules the per-boundary parity
+		// events itself.
+		steps := make([][]fabric.FaultStep, nLinks)
+		for link := 0; link < nLinks; link++ {
+			evs := byLink[link]
+			for _, b := range linkBounds(evs) {
+				steps[link] = append(steps[link], fabric.FaultStep{At: b, LF: compose(evs, b)})
+			}
+		}
+		fab.InstallFaultTimeline(p.Seed, steps)
+		return nil
+	}
+
+	fab.EnableFaults(p.Seed)
 	for link := 0; link < nLinks; link++ {
 		evs := byLink[link]
-		if len(evs) == 0 {
-			continue
-		}
-		var bounds []units.Time
-		for _, e := range evs {
-			bounds = append(bounds, e.At)
-			if e.For > 0 {
-				bounds = append(bounds, e.At.Add(e.For))
-			}
-		}
-		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
 		id := topology.LinkID(link)
-		prev := units.Time(-1)
-		for _, b := range bounds {
-			if b == prev {
-				continue
-			}
-			prev = b
+		for _, b := range linkBounds(evs) {
 			at := b
 			eng.At(at, func() {
 				fab.SetLinkFault(id, compose(evs, at))
@@ -136,6 +139,31 @@ func (p *Plan) Install(eng *sim.Engine, fab *fabric.Fabric) error {
 		}
 	}
 	return nil
+}
+
+// linkBounds returns the sorted, deduplicated window boundaries (starts
+// and ends) of one link's fault windows.
+func linkBounds(evs []*Event) []units.Time {
+	if len(evs) == 0 {
+		return nil
+	}
+	var bounds []units.Time
+	for _, e := range evs {
+		bounds = append(bounds, e.At)
+		if e.For > 0 {
+			bounds = append(bounds, e.At.Add(e.For))
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	out := bounds[:0]
+	prev := units.Time(-1)
+	for _, b := range bounds {
+		if b != prev {
+			out = append(out, b)
+			prev = b
+		}
+	}
+	return out
 }
 
 // InstallSpec compiles the spec against the fabric's topology and installs

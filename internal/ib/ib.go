@@ -144,7 +144,10 @@ type Network struct {
 	hcas []*HCA
 }
 
-// NewNetwork equips every node of the fabric with an HCA.
+// NewNetwork equips every node of the fabric with an HCA. Each HCA lives
+// on its node's engine (fabric.NodeEngine): on a serial fabric that is
+// eng itself, under sharding it is the owning shard — the HCA's server,
+// timers, and signals all schedule there.
 func NewNetwork(eng *sim.Engine, fab *fabric.Fabric, params Params) *Network {
 	n := &Network{eng: eng, fab: fab}
 	n.hcas = make([]*HCA, fab.Nodes())
@@ -156,13 +159,14 @@ func NewNetwork(eng *sim.Engine, fab *fabric.Fabric, params Params) *Network {
 	mTimeouts := reg.Counter("ib.timeouts")
 	mQPErrs := reg.Counter("ib.qp_errors")
 	for i := range n.hcas {
+		nodeEng := fab.NodeEngine(i)
 		n.hcas[i] = &HCA{
 			net:       n,
-			eng:       eng,
+			eng:       nodeEng,
 			fab:       fab,
 			node:      i,
 			params:    params,
-			engine:    eng.NewServer(fmt.Sprintf("hca%d", i)),
+			engine:    nodeEng.NewServer(fmt.Sprintf("hca%d", i)),
 			regCache:  NewRegCache(params.RegCacheCap),
 			qps:       map[int]bool{},
 			mSends:    mSends,
@@ -308,8 +312,16 @@ func (h *HCA) Register(p *sim.Proc, key uint64, size units.Bytes) {
 // send() — until MaxRetries is exhausted, at which point the QP enters the
 // error state and the run fails via Engine.Fail (deterministically: the
 // error carries only the QP identity and retry count). A late original
-// delivery racing its own retransmission is absorbed by the completed flag,
-// and the attempt counter keeps a stale timer from double-retrying.
+// delivery racing its own retransmission is absorbed by the delivered
+// flag, and the attempt counter keeps a stale timer from double-retrying.
+//
+// Shard ownership: reliable always executes on h's (the requester's)
+// engine — timers, the attempt counter, and the sent flag are requester
+// state. Delivery runs on the destination's shard (the fabric signal fires
+// there), deduplicated by its own flag; the requester learns of delivery
+// through fabric.NotifyDelivered, which reports at exactly the delivery
+// time on the requester's own shard, so timer decisions are identical to
+// the serial kernel's.
 func (h *HCA) reliable(kind string, peer, src, dst int, size units.Bytes, send func() *sim.Signal, deliver func()) {
 	if !h.fab.FaultsEnabled() {
 		send().OnFire(deliver)
@@ -319,17 +331,20 @@ func (h *HCA) reliable(kind string, peer, src, dst int, size units.Bytes, send f
 	// recurrence (O(chunks)), too costly for the fault-free hot path.
 	floor := h.fab.MinLatency(src, dst, size)
 	var (
-		completed bool
+		sent      bool // requester-side: an attempt has delivered (timers stand down)
+		delivered bool // destination-side: deliver ran (duplicates absorbed)
 		attempt   int
 		try       func(n int)
 	)
 	try = func(n int) {
 		attempt = n
-		send().OnFire(func() {
-			if completed {
+		sig := send()
+		h.fab.NotifyDelivered(h.eng, func() { sent = true })
+		sig.OnFire(func() {
+			if delivered {
 				return // duplicate: a retransmission already delivered
 			}
-			completed = true
+			delivered = true
 			deliver()
 		})
 		timeout := h.params.RetransTimeout
@@ -341,7 +356,7 @@ func (h *HCA) reliable(kind string, peer, src, dst int, size units.Bytes, send f
 		}
 		timeout += 2 * floor
 		h.eng.After(timeout, func() {
-			if completed || attempt != n {
+			if sent || attempt != n {
 				return
 			}
 			h.Timeouts++
@@ -386,21 +401,38 @@ func (h *HCA) RDMAWrite(p *sim.Proc, peer int, size units.Bytes, imm interface{}
 			h.reliable("rdma-write", peer, h.node, peer, size,
 				func() *sim.Signal { return h.fab.Send(h.node, peer, size) },
 				func() {
-					// Remote HCA placement processing, then the upcall.
-					remote := h.net.hcas[peer]
-					//simlint:allow shardsafety — delivery runs inside the fabric Send completion: the hop already crossed the link layer, and a parallel kernel reroutes this callback to the owning shard
-					remote.RecvCount++
-					remote.mRecvs.Inc()
-					remote.engine.ServeThen(remote.params.RecvProc, func() {
-						if remote.handler != nil {
-							remote.handler(Delivery{SrcNode: h.node, Imm: imm, Size: size})
-						}
-						done.Fire()
-					})
+					// Runs on the destination shard (the fabric's delivery
+					// event): remote HCA placement, then the upcall.
+					h.net.hcas[peer].placeWrite(h.node, imm, size, h.eng, done)
 				})
 		})
 	})
 	return done
+}
+
+// placeWrite runs receive-side placement of an arriving RDMA write on h —
+// the DESTINATION adapter — in its own shard's event context: receive
+// processing on the HCA engine, then the handler upcall. done is the
+// requester's local-completion signal, owned by reqEng's shard; it fires
+// at the placement-done instant — inline when requester and destination
+// share an engine (the serial kernel), otherwise through an uncounted
+// cross-shard post, which satisfies the lookahead contract because the
+// placement serve puts the fire at least RecvProc past this event (IB
+// domains clamp lookahead to RecvProc; see platform).
+func (h *HCA) placeWrite(src int, imm interface{}, size units.Bytes, reqEng *sim.Engine, done *sim.Signal) {
+	h.RecvCount++
+	h.mRecvs.Inc()
+	placed := h.engine.ServeThen(h.params.RecvProc, func() {
+		if h.handler != nil {
+			h.handler(Delivery{SrcNode: src, Imm: imm, Size: size})
+		}
+		if reqEng == h.eng {
+			done.Fire()
+		}
+	})
+	if reqEng != h.eng {
+		h.eng.PostUncounted(reqEng, placed, func() { done.Fire() })
+	}
 }
 
 // RDMARead posts an RDMA read of size bytes FROM the peer node into local
@@ -411,7 +443,15 @@ func (h *HCA) RDMAWrite(p *sim.Proc, peer int, size units.Bytes, imm interface{}
 // progress coupling of write-based ones.
 //
 // The returned signal fires at local completion (data placed locally).
+//
+// RDMARead is serial-kernel-only: its nested request/response recovery
+// arms requester timers from responder-side events, which has no
+// lookahead-respecting decomposition. The platform forces -shards 1 for
+// read-based (RGET) rendezvous.
 func (h *HCA) RDMARead(p *sim.Proc, peer int, size units.Bytes, imm interface{}) *sim.Signal {
+	if h.fab.Sharded() {
+		panic("ib: RDMA read (RGET rendezvous) requires the serial kernel (-shards 1)")
+	}
 	if !h.qps[peer] {
 		panic(fmt.Sprintf("ib: RDMA read on node %d from unconnected peer %d", h.node, peer))
 	}

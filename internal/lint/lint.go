@@ -136,8 +136,9 @@ type Config struct {
 	ReportStaleAllows bool
 }
 
-// DefaultConfig is the repository policy: the sim kernel's proc.go is the
-// one sanctioned goroutine spawn site, internal/rng the one sanctioned
+// DefaultConfig is the repository policy: the sim kernel's proc.go and
+// shard.go (process goroutines and the sharded coordinator's round
+// workers) are the sanctioned goroutine spawn sites, internal/rng the one sanctioned
 // math/rand importer, fabric/metrics/report the packages whose calls
 // count as output-emitting inside a map range, and the v2 dataflow rules
 // bound to the simulator's node, fabric, time, and runner types.
@@ -146,7 +147,10 @@ func DefaultConfig() Config {
 		ModulePath:   "repro",
 		EmitPkgPaths: []string{"repro/internal/fabric", "repro/internal/metrics", "repro/internal/report"},
 		RandPkgPath:  "repro/internal/rng",
-		SpawnSites:   map[string]bool{"repro/internal/sim:proc.go": true},
+		SpawnSites: map[string]bool{
+			"repro/internal/sim:proc.go":  true,
+			"repro/internal/sim:shard.go": true,
+		},
 
 		NodeStateTypes: []string{
 			"repro/internal/ib.HCA",

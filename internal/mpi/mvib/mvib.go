@@ -28,6 +28,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -154,6 +155,13 @@ func (t *Transport) Name() string { return "ib" }
 // Network exposes the underlying IB model (for statistics).
 func (t *Transport) Network() *ib.Network { return t.net }
 
+// NodeEngine implements mpi.ShardPlacer: the engine owning a node's HCA
+// and host state.
+func (t *Transport) NodeEngine(node int) *sim.Engine { return t.net.Fabric().NodeEngine(node) }
+
+// Domain implements mpi.ShardPlacer (nil for a serial fabric).
+func (t *Transport) Domain() *sim.Sharded { return t.net.Fabric().Domain() }
+
 // Params returns the protocol parameters.
 func (t *Transport) Params() Params { return t.params }
 
@@ -239,7 +247,7 @@ func (t *Transport) deliver(d ib.Delivery) {
 func (t *Transport) NetSend(r *mpi.Rank, dst, tag, ctx int, size units.Bytes, payload interface{}, key uint64) *mpi.Request {
 	st := t.states[r.ID()]
 	hca := t.net.HCA(r.NodeID())
-	req := mpi.NewRequest(t.w.Engine(), fmt.Sprintf("ib send %d->%d", r.ID(), dst), false)
+	req := mpi.NewRequest(r.Engine(), fmt.Sprintf("ib send %d->%d", r.ID(), dst), false)
 	env := match.Envelope{Src: r.ID(), Tag: tag, Ctx: ctx}
 
 	if size <= t.params.EagerThreshold {
@@ -293,7 +301,7 @@ func (t *Transport) takeOwed(st *rankState, dst int) int {
 // NetRecv implements mpi.Transport.
 func (t *Transport) NetRecv(r *mpi.Rank, src, tag, ctx int, key uint64) *mpi.Request {
 	st := t.states[r.ID()]
-	req := mpi.NewRequest(t.w.Engine(), fmt.Sprintf("ib recv %d<-%d", r.ID(), src), true)
+	req := mpi.NewRequest(r.Engine(), fmt.Sprintf("ib recv %d<-%d", r.ID(), src), true)
 	rs := &recvState{req: req, key: key}
 	// Drain anything already delivered, then post.
 	t.Progress(r)

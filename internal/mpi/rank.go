@@ -15,6 +15,7 @@ import (
 type Rank struct {
 	world *World
 	id    int
+	eng   *sim.Engine // the engine owning this rank's node (shard engine when sharded)
 	node  *host.Node
 	slot  int
 	proc  *sim.Proc
@@ -46,6 +47,11 @@ func (r *Rank) World() *World { return r.world }
 // Proc exposes the rank's simulated process (transport use).
 func (r *Rank) Proc() *sim.Proc { return r.proc }
 
+// Engine returns the engine that owns this rank's node: the shard engine
+// under a partitioned simulation, the world engine otherwise. Transports
+// must create this rank's signals and requests on it.
+func (r *Rank) Engine() *sim.Engine { return r.eng }
+
 // HostNode returns the node this rank runs on.
 func (r *Rank) HostNode() *host.Node { return r.node }
 
@@ -56,7 +62,7 @@ func (r *Rank) Slot() int { return r.slot }
 func (r *Rank) NodeID() int { return r.world.NodeOf(r.id) }
 
 // Now reports the current simulated time (MPI_Wtime).
-func (r *Rank) Now() units.Time { return r.world.eng.Now() }
+func (r *Rank) Now() units.Time { return r.eng.Now() }
 
 // Incoming returns the current wake-up signal (transport use): capture it,
 // check your condition, then wait on it if the condition is not met.
@@ -66,8 +72,18 @@ func (r *Rank) Incoming() *sim.Signal { return r.incoming }
 // state. Safe from any simulation context.
 func (r *Rank) Kick() {
 	old := r.incoming
-	r.incoming = r.world.eng.NewSignal(fmt.Sprintf("rank%d incoming", r.id))
+	r.incoming = r.eng.NewSignal(fmt.Sprintf("rank%d incoming", r.id))
 	old.Fire()
+}
+
+// launch spawns the rank's process on its owning engine, running app and
+// recording the rank's completion time. The proc handle and the elapsed
+// slot are both rank-owned state, written from the rank's own shard.
+func (r *Rank) launch(start units.Time, app func(*Rank), res *Result) {
+	r.proc = r.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+		app(r)
+		res.RankElapsed[r.id] = p.Now().Sub(start)
+	})
 }
 
 // Compute advances the application by `work` of ideal CPU time with the
@@ -79,9 +95,9 @@ func (r *Rank) Compute(work units.Duration, memIntensity float64) {
 		defer r.world.record(r.id, EvComputeEnd, -1, 0, 0)
 	}
 	if tr := r.world.track; tr != nil {
-		begin := r.world.eng.Now()
+		begin := r.eng.Now()
 		defer func() {
-			tr.Span(sim.TidRank+int64(r.id), "compute", "compute", begin, r.world.eng.Now())
+			tr.Span(sim.TidRank+int64(r.id), "compute", "compute", begin, r.eng.Now())
 		}()
 	}
 	r.node.Compute(r.proc, r.slot, work, memIntensity)
@@ -159,7 +175,7 @@ func (r *Rank) isend(dst, tag, ctx int, size units.Bytes, payload interface{}) *
 	if r.world.trace != nil {
 		r.world.record(r.id, EvSendPost, dst, tag, size)
 	}
-	posted := r.world.eng.Now()
+	posted := r.eng.Now()
 	r.proc.Sleep(r.world.cfg.CallOverhead)
 	var req *Request
 	if intra {
@@ -188,7 +204,7 @@ func (r *Rank) irecv(src, tag, ctx int) *Request {
 	if r.world.trace != nil {
 		r.world.record(r.id, EvRecvPost, src, tag, 0)
 	}
-	posted := r.world.eng.Now()
+	posted := r.eng.Now()
 	r.proc.Sleep(r.world.cfg.CallOverhead)
 	var req *Request
 	switch {
@@ -214,7 +230,7 @@ func (r *Rank) irecv(src, tag, ctx int) *Request {
 // one).
 func (r *Rank) Wait(req *Request) Status {
 	r.proc.Sleep(r.world.cfg.CallOverhead)
-	start := r.world.eng.Now()
+	start := r.eng.Now()
 	for !req.Completed() {
 		sig := r.incoming
 		r.progress()
@@ -223,7 +239,7 @@ func (r *Rank) Wait(req *Request) Status {
 		}
 		r.proc.WaitAny(req.done, sig)
 	}
-	r.prof.mpiWait += r.world.eng.Now().Sub(start)
+	r.prof.mpiWait += r.eng.Now().Sub(start)
 	if r.world.trace != nil {
 		kind := EvSendDone
 		if req.isRecv {
@@ -257,8 +273,8 @@ func (r *Rank) Waitany(reqs ...*Request) int {
 		panic("mpi: Waitany with no requests")
 	}
 	r.proc.Sleep(r.world.cfg.CallOverhead)
-	start := r.world.eng.Now()
-	defer func() { r.prof.mpiWait += r.world.eng.Now().Sub(start) }()
+	start := r.eng.Now()
+	defer func() { r.prof.mpiWait += r.eng.Now().Sub(start) }()
 	for {
 		sig := r.incoming
 		r.progress()
@@ -326,22 +342,26 @@ type shmMsg struct {
 // destination rank, completing immediately (buffered semantics). The
 // receiver pays the copy-out when it matches.
 func (r *Rank) shmSend(dst, tag, ctx int, size units.Bytes, payload interface{}) *Request {
-	req := NewRequest(r.world.eng, fmt.Sprintf("shm send %d->%d", r.id, dst), false)
+	req := NewRequest(r.eng, fmt.Sprintf("shm send %d->%d", r.id, dst), false)
 	r.HostCopy(size)
 	msg := &shmMsg{env: match.Envelope{Src: r.id, Tag: tag, Ctx: ctx}, size: size, payload: payload}
 	peer := r.world.ranks[dst]
-	r.world.eng.After(r.world.cfg.ShmLatency, func() {
-		//simlint:allow shardsafety — shared-memory delivery is intra-node by construction: sender and receiver ranks live on the same host, so they land in the same shard
-		peer.shm.arrived = append(peer.shm.arrived, msg)
-		peer.Kick()
-	})
+	r.eng.After(r.world.cfg.ShmLatency, func() { peer.shmDeliver(msg) })
 	req.Complete(r.id, tag, size, payload)
 	return req
 }
 
+// shmDeliver lands an intra-node message on this rank's channel and wakes
+// it. Sender and receiver share a node by construction, hence an engine, so
+// the delivery event already runs in this rank's shard.
+func (r *Rank) shmDeliver(msg *shmMsg) {
+	r.shm.arrived = append(r.shm.arrived, msg)
+	r.Kick()
+}
+
 // shmRecv posts an intra-node receive.
 func (r *Rank) shmRecv(src, tag, ctx int) *Request {
-	req := NewRequest(r.world.eng, fmt.Sprintf("shm recv %d<-%d", r.id, src), true)
+	req := NewRequest(r.eng, fmt.Sprintf("shm recv %d<-%d", r.id, src), true)
 	r.shmProgress() // drain anything already arrived before posting
 	env := match.Envelope{Src: src, Tag: tag, Ctx: ctx}
 	if data, found, _ := r.shm.engine.PostRecv(env, req); found {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/elan"
 	"repro/internal/match"
 	"repro/internal/mpi"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -35,6 +36,13 @@ func (t *Transport) Name() string { return "elan" }
 // Network exposes the underlying Elan model (for statistics).
 func (t *Transport) Network() *elan.Network { return t.net }
 
+// NodeEngine implements mpi.ShardPlacer: the engine owning a node's NIC
+// and host state.
+func (t *Transport) NodeEngine(node int) *sim.Engine { return t.net.Fabric().NodeEngine(node) }
+
+// Domain implements mpi.ShardPlacer (nil for a serial fabric).
+func (t *Transport) Domain() *sim.Sharded { return t.net.Fabric().Domain() }
+
 // Attach implements mpi.Transport: create each rank's Tports context on its
 // node's NIC. Connectionless: nothing else to set up.
 func (t *Transport) Attach(w *mpi.World) {
@@ -47,7 +55,7 @@ func (t *Transport) Attach(w *mpi.World) {
 // NetSend implements mpi.Transport. The buffer key is ignored: the Elan MMU
 // needs no registration.
 func (t *Transport) NetSend(r *mpi.Rank, dst, tag, ctx int, size units.Bytes, payload interface{}, _ uint64) *mpi.Request {
-	req := mpi.NewRequest(t.w.Engine(), fmt.Sprintf("elan send %d->%d", r.ID(), dst), false)
+	req := mpi.NewRequest(r.Engine(), fmt.Sprintf("elan send %d->%d", r.ID(), dst), false)
 	env := match.Envelope{Src: r.ID(), Tag: tag, Ctx: ctx}
 	nic := t.net.NIC(r.NodeID())
 	txDone := nic.TxPost(r.Proc(), r.ID(), dst, env, size, payload)
@@ -59,7 +67,7 @@ func (t *Transport) NetSend(r *mpi.Rank, dst, tag, ctx int, size units.Bytes, pa
 
 // NetRecv implements mpi.Transport.
 func (t *Transport) NetRecv(r *mpi.Rank, src, tag, ctx int, _ uint64) *mpi.Request {
-	req := mpi.NewRequest(t.w.Engine(), fmt.Sprintf("elan recv %d<-%d", r.ID(), src), true)
+	req := mpi.NewRequest(r.Engine(), fmt.Sprintf("elan recv %d<-%d", r.ID(), src), true)
 	env := match.Envelope{Src: src, Tag: tag, Ctx: ctx}
 	if src == mpi.AnySource {
 		env.Src = match.AnySource

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/host"
 	"repro/internal/metrics"
@@ -9,15 +10,28 @@ import (
 	"repro/internal/units"
 )
 
+// ShardPlacer is implemented by transports whose network model partitions
+// nodes over a sharded simulation domain. NewWorld uses it to place each
+// host node and each rank's process on the engine of the shard that owns
+// the node, and Run drives the whole domain instead of a single engine.
+// Domain returns nil when the underlying network is serial.
+type ShardPlacer interface {
+	NodeEngine(node int) *sim.Engine
+	Domain() *sim.Sharded
+}
+
 // World is one MPI job: ranks, their nodes, and a transport.
 type World struct {
 	eng       *sim.Engine
+	dom       *sim.Sharded // non-nil when the transport's network is sharded
 	cfg       Config
 	cluster   *host.Cluster
 	transport Transport
 	ranks     []*Rank
 
-	// Communicator-split machinery (see comm.go).
+	// Communicator-split machinery (see comm.go). mu serializes access
+	// from ranks on different shards.
+	mu       sync.Mutex
 	splits   map[splitKey]*splitState
 	ctxAlloc map[ctxKey]int
 	nextCtx  int
@@ -37,21 +51,30 @@ func NewWorld(eng *sim.Engine, cfg Config, transport Transport) (*World, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cluster, err := host.NewCluster(eng, cfg.NodesFor(), cfg.Node)
+	engOf := func(int) *sim.Engine { return eng }
+	var dom *sim.Sharded
+	if sp, ok := transport.(ShardPlacer); ok {
+		if dom = sp.Domain(); dom != nil {
+			engOf = sp.NodeEngine
+		}
+	}
+	cluster, err := host.NewClusterOn(engOf, cfg.NodesFor(), cfg.Node)
 	if err != nil {
 		return nil, err
 	}
-	w := &World{eng: eng, cfg: cfg, cluster: cluster, transport: transport}
+	w := &World{eng: eng, dom: dom, cfg: cfg, cluster: cluster, transport: transport}
 	w.track = eng.TraceTrack()
 	w.ranks = make([]*Rank, cfg.Ranks)
 	for i := range w.ranks {
 		node := i / cfg.PPN
+		re := engOf(node)
 		w.ranks[i] = &Rank{
 			world:    w,
 			id:       i,
+			eng:      re,
 			node:     cluster.Nodes[node],
 			slot:     i % cfg.PPN,
-			incoming: eng.NewSignal(fmt.Sprintf("rank%d incoming", i)),
+			incoming: re.NewSignal(fmt.Sprintf("rank%d incoming", i)),
 		}
 		w.ranks[i].shm.init()
 		if w.track != nil {
@@ -99,20 +122,34 @@ func (w *World) Run(app func(r *Rank)) (*Result, error) {
 	start := w.eng.Now()
 	res := &Result{RankElapsed: make([]units.Duration, w.cfg.Ranks)}
 	for _, r := range w.ranks {
-		r := r
-		//simlint:allow shardsafety — single-threaded setup: Run wires the procs of the ranks the world owns before any simulated traffic exists
-		r.proc = w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
-			app(r)
-			res.RankElapsed[r.id] = p.Now().Sub(start)
-			if d := p.Now().Sub(start); d > res.Elapsed {
-				res.Elapsed = d
-			}
-		})
+		r.launch(start, app, res)
 	}
-	if err := w.eng.Run(); err != nil {
-		w.eng.Shutdown()
+	var err error
+	if w.dom != nil {
+		err = w.dom.Run()
+	} else {
+		err = w.eng.Run()
+	}
+	if err != nil {
+		if w.dom != nil {
+			w.dom.Shutdown()
+		} else {
+			w.eng.Shutdown()
+		}
 		return nil, err
 	}
-	res.Events = w.eng.Events()
+	// Each rank wrote its own slot; the job span is their maximum. Computed
+	// here rather than inside the procs so no shared word is updated from
+	// concurrent shards.
+	for _, d := range res.RankElapsed {
+		if d > res.Elapsed {
+			res.Elapsed = d
+		}
+	}
+	if w.dom != nil {
+		res.Events = w.dom.Events()
+	} else {
+		res.Events = w.eng.Events()
+	}
 	return res, nil
 }

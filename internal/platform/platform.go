@@ -105,6 +105,7 @@ const ElanRadix = 64
 type Machine struct {
 	Network Network
 	Eng     *sim.Engine
+	Dom     *sim.Sharded // non-nil when the kernel runs sharded
 	Fab     *fabric.Fabric
 	World   *mpi.World
 
@@ -142,6 +143,17 @@ type Options struct {
 	// injection disabled and the event stream untouched.
 	FaultSpec string
 
+	// Shards runs the simulation kernel on this many parallel shards with
+	// conservative lookahead (see sim.Sharded and fabric.NewSharded).
+	// Results are byte-identical at every value — this is an execution
+	// knob like the runner's Jobs, not part of an experiment's identity.
+	// Values are clamped to the node count, and the machine falls back to
+	// the serial kernel (shards=1) whenever a serial-only feature is
+	// requested: a metrics registry (racy under sharding), or the RGET
+	// read-rendezvous protocol variant (RDMA reads have no
+	// lookahead-respecting decomposition). 0 and 1 both mean serial.
+	Shards int
+
 	// Radix overrides the switch port count (0 keeps the platform default:
 	// IBRadix or ElanRadix). Shrinking the radix below the node count
 	// forces a 2-level Clos with few spines — the configuration
@@ -164,7 +176,70 @@ func New(opts Options) (*Machine, error) {
 	if opts.PPN == 0 {
 		opts.PPN = 1
 	}
-	eng := sim.NewEngine()
+	cfg := mpi.DefaultConfig(opts.Ranks, opts.PPN)
+	if opts.TuneMPI != nil {
+		opts.TuneMPI(&cfg)
+	}
+	nodes := cfg.NodesFor()
+
+	// Resolve the network-specific parameter sets up front: the shard
+	// count depends on them (the RGET protocol variant forces the serial
+	// kernel), and none of them depend on the engine or fabric.
+	var (
+		fp    fabric.Params
+		radix int
+		hp    ib.Params
+		tp    mvib.Params
+		ep    elan.Params
+	)
+	switch opts.Network {
+	case InfiniBand4X:
+		fp, radix = IBFabricParams(), IBRadix
+		hp, tp = ib.DefaultParams(), mvib.DefaultParams()
+		if opts.TuneFabric != nil {
+			opts.TuneFabric(&fp)
+		}
+		if opts.TuneIB != nil {
+			opts.TuneIB(&hp, &tp)
+		}
+	case QuadricsElan4:
+		fp, radix = ElanFabricParams(), ElanRadix
+		ep = elan.DefaultParams()
+		if opts.TuneFabric != nil {
+			opts.TuneFabric(&fp)
+		}
+		if opts.TuneElan != nil {
+			opts.TuneElan(&ep)
+		}
+	default:
+		return nil, fmt.Errorf("platform: unknown network %v", opts.Network)
+	}
+	if opts.Radix > 0 {
+		radix = opts.Radix
+	}
+
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if opts.Metrics != nil {
+		shards = 1 // metrics registries and tracing are serial-only
+	}
+	if opts.Network == InfiniBand4X && tp.ReadRendezvous {
+		shards = 1 // RDMA reads cannot respect the lookahead contract
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+
+	var dom *sim.Sharded
+	var eng *sim.Engine
+	if shards > 1 {
+		dom = sim.NewSharded(shards)
+		eng = dom.Shard(0)
+	} else {
+		eng = sim.NewEngine()
+	}
 	if opts.Metrics != nil {
 		label := opts.Label
 		if label == "" {
@@ -172,80 +247,44 @@ func New(opts Options) (*Machine, error) {
 		}
 		eng.SetMetrics(opts.Metrics, label)
 	}
-	cfg := mpi.DefaultConfig(opts.Ranks, opts.PPN)
-	if opts.TuneMPI != nil {
-		opts.TuneMPI(&cfg)
-	}
-	nodes := cfg.NodesFor()
 
-	m := &Machine{Network: opts.Network, Eng: eng}
+	var fab *fabric.Fabric
+	var err error
+	if dom != nil {
+		fab, err = fabric.NewSharded(dom, nodes, radix, fp)
+	} else {
+		fab, err = fabric.New(eng, nodes, radix, fp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.DisableCoalescing {
+		fab.SetCoalescing(false)
+	}
+	if err := fault.InstallSpec(opts.FaultSpec, eng, fab); err != nil {
+		return nil, err
+	}
+
+	m := &Machine{Network: opts.Network, Eng: eng, Dom: dom, Fab: fab}
 	switch opts.Network {
 	case InfiniBand4X:
-		fp := IBFabricParams()
-		if opts.TuneFabric != nil {
-			opts.TuneFabric(&fp)
-		}
-		radix := IBRadix
-		if opts.Radix > 0 {
-			radix = opts.Radix
-		}
-		fab, err := fabric.New(eng, nodes, radix, fp)
-		if err != nil {
-			return nil, err
-		}
-		if opts.DisableCoalescing {
-			fab.SetCoalescing(false)
-		}
-		if err := fault.InstallSpec(opts.FaultSpec, eng, fab); err != nil {
-			return nil, err
-		}
-		hp := ib.DefaultParams()
-		tp := mvib.DefaultParams()
-		if opts.TuneIB != nil {
-			opts.TuneIB(&hp, &tp)
-		}
 		net := ib.NewNetwork(eng, fab, hp)
-		m.Fab = fab
+		if dom != nil && hp.RecvProc < dom.Lookahead() {
+			// The HCA posts a requester-side completion one RecvProc serve
+			// ahead of the delivery handler (ib placeWrite); the domain
+			// lookahead must not exceed that lead.
+			dom.SetLookahead(hp.RecvProc)
+		}
 		m.IB = mvib.New(net, tp)
-		w, err := mpi.NewWorld(eng, cfg, m.IB)
-		if err != nil {
-			return nil, err
-		}
-		m.World = w
+		m.World, err = mpi.NewWorld(eng, cfg, m.IB)
 	case QuadricsElan4:
-		fp := ElanFabricParams()
-		if opts.TuneFabric != nil {
-			opts.TuneFabric(&fp)
-		}
-		radix := ElanRadix
-		if opts.Radix > 0 {
-			radix = opts.Radix
-		}
-		fab, err := fabric.New(eng, nodes, radix, fp)
-		if err != nil {
-			return nil, err
-		}
-		if opts.DisableCoalescing {
-			fab.SetCoalescing(false)
-		}
-		if err := fault.InstallSpec(opts.FaultSpec, eng, fab); err != nil {
-			return nil, err
-		}
-		ep := elan.DefaultParams()
-		if opts.TuneElan != nil {
-			opts.TuneElan(&ep)
-		}
 		ppn := cfg.PPN
 		net := elan.NewNetwork(eng, fab, ep, func(rank int) int { return rank / ppn })
-		m.Fab = fab
 		m.Elan = tports.New(net)
-		w, err := mpi.NewWorld(eng, cfg, m.Elan)
-		if err != nil {
-			return nil, err
-		}
-		m.World = w
-	default:
-		return nil, fmt.Errorf("platform: unknown network %v", opts.Network)
+		m.World, err = mpi.NewWorld(eng, cfg, m.Elan)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -5,6 +5,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/runner"
 )
@@ -19,23 +23,74 @@ import (
 // The cache survives server restarts: keys are pure functions of the
 // request and the code version, so a warm directory keeps serving hits
 // across deploys of the same build.
+//
+// With a size budget (maxBytes > 0) the cache evicts least-recently-used
+// entries after each Put until the directory fits the budget again. The
+// cache maintains recency itself by touching an entry's file times on
+// every hit — kernel atime is useless for this (relatime/noatime mounts
+// never update it on reads) — so "oldest atime" is the oldest
+// self-recorded access. An entry currently being read is pinned and is
+// never evicted mid-read; it becomes eligible again once the read
+// finishes (and by then a hit has refreshed its timestamp anyway).
+// Budget enforcement is best-effort by design: the single Put that
+// overshoots before trimming is the worst transient overrun.
 type Cache struct {
-	dir string
+	dir      string
+	maxBytes int64
+	now      func() time.Time
+
+	mu      sync.Mutex
+	reading map[string]int // in-flight Get readers per key: pinned against eviction
 }
 
 // keyPattern guards against path-traversal garbage reaching the
 // filesystem: keys are always lowercase hex SHA-256 digests.
 var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
-// NewCache opens (creating if needed) the artifact cache rooted at dir.
+// NewCache opens (creating if needed) an unbounded artifact cache
+// rooted at dir.
 func NewCache(dir string) (*Cache, error) {
+	return NewCacheWithBudget(dir, 0, nil)
+}
+
+// NewCacheWithBudget opens the artifact cache rooted at dir with a size
+// budget: once the stored entries exceed maxBytes, Put evicts the
+// least-recently-used entries until the total fits again. maxBytes <= 0
+// means unbounded. now supplies the clock recency is recorded with; nil
+// means the host clock.
+func NewCacheWithBudget(dir string, maxBytes int64, now func() time.Time) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("server: cache dir required")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Cache{dir: dir}, nil
+	if now == nil {
+		now = time.Now // recency bookkeeping for eviction, never simulation input
+	}
+	return &Cache{dir: dir, maxBytes: maxBytes, now: now, reading: map[string]int{}}, nil
+}
+
+// pin marks key as having an in-flight read; eviction skips pinned
+// entries. unpin releases one reader.
+func (c *Cache) pin(key string) {
+	c.mu.Lock()
+	c.reading[key]++
+	c.mu.Unlock()
+}
+
+func (c *Cache) unpin(key string) {
+	c.mu.Lock()
+	if c.reading[key]--; c.reading[key] <= 0 {
+		delete(c.reading, key)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cache) pinned(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reading[key] > 0
 }
 
 func (c *Cache) path(key string) string {
@@ -45,11 +100,15 @@ func (c *Cache) path(key string) string {
 // Get returns the cached artifact for key, or (nil, false) on a miss. A
 // stored file that fails to load — unreadable, unparsable, or with a
 // payload that no longer matches its SHA-256 — counts as a miss and is
-// removed so the next Put can heal the entry.
+// removed so the next Put can heal the entry. The entry is pinned
+// against budget eviction for the duration of the read, and a hit
+// refreshes its recency.
 func (c *Cache) Get(key string) (*runner.Artifact, bool) {
 	if !keyPattern.MatchString(key) {
 		return nil, false
 	}
+	c.pin(key)
+	defer c.unpin(key)
 	path := c.path(key)
 	if _, err := os.Stat(path); err != nil {
 		return nil, false
@@ -61,6 +120,11 @@ func (c *Cache) Get(key string) (*runner.Artifact, bool) {
 		os.Remove(path)
 		return nil, false
 	}
+	// LRU bookkeeping: mark the entry as just-used so budget eviction
+	// takes colder entries first. Best-effort — a failed touch only
+	// makes the entry look older than it is.
+	t := c.now()
+	_ = os.Chtimes(path, t, t)
 	return a, true
 }
 
@@ -93,5 +157,59 @@ func (c *Cache) Put(key string, a *runner.Artifact) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	c.enforceBudget(key)
 	return nil
+}
+
+// enforceBudget trims the cache to maxBytes by removing entries oldest
+// recency first, skipping entries pinned by an in-flight Get and the
+// just-written key. Errors are swallowed: the budget is advisory and a
+// failed eviction only delays reclamation to the next Put.
+func (c *Cache) enforceBudget(justPut string) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		key  string
+		size int64
+		used time.Time
+	}
+	var total int64
+	var all []entry
+	for _, de := range ents {
+		key := strings.TrimSuffix(de.Name(), ".json")
+		if !keyPattern.MatchString(key) {
+			continue // temp files mid-Put, stray droppings: not ours to count
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		total += fi.Size()
+		all = append(all, entry{key: key, size: fi.Size(), used: fi.ModTime()})
+	}
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].used.Equal(all[j].used) {
+			return all[i].used.Before(all[j].used)
+		}
+		return all[i].key < all[j].key // tie-break for a deterministic order
+	})
+	for _, e := range all {
+		if total <= c.maxBytes {
+			return
+		}
+		if e.key == justPut || c.pinned(e.key) {
+			continue
+		}
+		if err := os.Remove(c.path(e.key)); err == nil || os.IsNotExist(err) {
+			total -= e.size
+		}
+	}
 }

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
@@ -91,6 +93,117 @@ func TestCacheCorruptionIsAMiss(t *testing.T) {
 	}
 	if _, ok := c.Get(key); !ok {
 		t.Fatal("healed entry missed")
+	}
+}
+
+// fakeKey builds a syntactically valid (lowercase hex SHA-256) cache
+// key from an integer, so budget tests can mint distinct keys cheaply.
+func fakeKey(i int) string { return fmt.Sprintf("%064x", i) }
+
+// stamp pins an entry's recency to a known instant, standing in for the
+// Put-time file mtime whose real-clock granularity the test can't rely on.
+func stamp(t *testing.T, dir, key string, at time.Time) {
+	t.Helper()
+	if err := os.Chtimes(filepath.Join(dir, key+".json"), at, at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func entryExists(dir, key string) bool {
+	_, err := os.Stat(filepath.Join(dir, key+".json"))
+	return err == nil
+}
+
+// TestCacheBudgetEvictsLRU fills a budget sized for three entries with
+// four, and checks that the evicted one is the least recently USED —
+// not the least recently written: a Get refreshes an old entry's
+// recency and saves it.
+func TestCacheBudgetEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	// Size one entry first so the budget can be expressed in entries.
+	probe, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put(fakeKey(99), testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, fakeKey(99)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+	if err := os.Remove(filepath.Join(dir, fakeKey(99)+".json")); err != nil {
+		t.Fatal(err)
+	}
+
+	base := time.Unix(1_000_000, 0)
+	tick := 0
+	clock := func() time.Time { tick++; return base.Add(time.Duration(tick) * time.Minute) }
+	c, err := NewCacheWithBudget(dir, 3*size+size/2, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(fakeKey(i), testArtifact()); err != nil {
+			t.Fatal(err)
+		}
+		stamp(t, dir, fakeKey(i), base.Add(time.Duration(i)*time.Second))
+	}
+	// Touch key 0 — oldest by write order, now freshest by use.
+	if _, ok := c.Get(fakeKey(0)); !ok {
+		t.Fatal("warm entry missed")
+	}
+	// The fourth Put must evict exactly one entry: key 1, the LRU.
+	if err := c.Put(fakeKey(3), testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if entryExists(dir, fakeKey(1)) {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !entryExists(dir, fakeKey(i)) {
+			t.Fatalf("entry %d evicted; want only the LRU gone", i)
+		}
+	}
+}
+
+// TestCacheNeverEvictsMidRead pins the eviction candidate as an
+// in-flight reader and checks the budget pass skips it (tolerating a
+// transient overrun) until the read finishes.
+func TestCacheNeverEvictsMidRead(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCacheWithBudget(dir, 1, nil) // budget below a single entry: every Put triggers a trim
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1_000_000, 0)
+	if err := c.Put(fakeKey(0), testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	stamp(t, dir, fakeKey(0), base)
+
+	c.pin(fakeKey(0)) // a reader is mid-Get on key 0
+	if err := c.Put(fakeKey(1), testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	stamp(t, dir, fakeKey(1), base.Add(time.Second))
+	if !entryExists(dir, fakeKey(0)) {
+		t.Fatal("entry evicted mid-read")
+	}
+	if !entryExists(dir, fakeKey(1)) {
+		t.Fatal("just-put entry evicted by its own trim")
+	}
+
+	c.unpin(fakeKey(0)) // read done: key 0 is fair game again
+	if err := c.Put(fakeKey(2), testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if entryExists(dir, fakeKey(0)) || entryExists(dir, fakeKey(1)) {
+		t.Fatal("budget not reclaimed after the read finished")
+	}
+	if !entryExists(dir, fakeKey(2)) {
+		t.Fatal("just-put entry evicted; older entries should go first")
 	}
 }
 

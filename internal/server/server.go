@@ -52,6 +52,11 @@ import (
 type Config struct {
 	// CacheDir roots the content-addressed artifact cache.
 	CacheDir string
+	// CacheMaxBytes bounds the artifact cache's on-disk size; once
+	// exceeded, least-recently-used entries are evicted after each store
+	// (entries with an in-flight read are never evicted mid-read).
+	// <= 0 means unbounded.
+	CacheMaxBytes int64
 	// Workers caps concurrently running experiments; <= 0 means
 	// GOMAXPROCS(0).
 	Workers int
@@ -127,7 +132,11 @@ type Server struct {
 
 // New builds a server and starts its dispatcher. Call Drain to stop.
 func New(cfg Config) (*Server, error) {
-	cache, err := NewCache(cfg.CacheDir)
+	now := cfg.Now
+	if now == nil {
+		now = time.Now // the server's sanctioned clock source (quotas, artifact timestamps)
+	}
+	cache, err := NewCacheWithBudget(cfg.CacheDir, cfg.CacheMaxBytes, now)
 	if err != nil {
 		return nil, err
 	}
@@ -142,10 +151,6 @@ func New(cfg Config) (*Server, error) {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.New()
-	}
-	now := cfg.Now
-	if now == nil {
-		now = time.Now // the server's sanctioned clock source (quotas, artifact timestamps)
 	}
 	logf := cfg.Logf
 	if logf == nil {

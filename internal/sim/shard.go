@@ -1,0 +1,437 @@
+// Sharded engines: conservative barrier-epoch parallel execution.
+//
+// A Sharded domain holds N ordinary Engines ("shards"), each owning a
+// disjoint subset of the model's state. Shards exchange work only through
+// Post, which enqueues into a per-destination outbox instead of the
+// destination's heap. The coordinator alternates two steps:
+//
+//  1. commit: drain every outbox into its destination heap, in the fixed
+//     order (source shard, post order). Each committed event gets a seq key
+//     above the 2^63 cross bit, so at equal timestamps locally-scheduled
+//     events sort before cross-shard arrivals, and cross-shard arrivals
+//     sort by (source shard, per-source commit counter) — a total order
+//     that depends only on the simulation, never on goroutine interleaving.
+//  2. round: compute each shard's horizon W_i = min over the OTHER shards
+//     of their next event time, plus the domain lookahead, and let every
+//     shard with work below its horizon dispatch events strictly below W_i
+//     (concurrently when more than one shard is active).
+//
+// Safety: Post requires the target time to be at least lookahead past the
+// poster's clock. An event executed in a round runs at some x < W_i, and
+// every event any other shard dispatches in that round sits at t >= the
+// minimum next-event time used to form W_i, so any post it makes targets
+// >= t + lookahead >= W_i > x. That covers arrivals caused by events
+// already in the heaps; arrivals caused by posts a shard makes DURING its
+// own window (waking a shard the horizon saw as quiescent, whose replies
+// can land as early as the post's target plus one lookahead) are covered
+// by the dynamic window shrink in post(): a cross-shard post targeting t
+// caps the poster's window at t + lookahead. Events therefore never
+// arrive in a shard's past — runWindow enforces this with a hard panic —
+// and each shard's dispatch order is the same (at, seq) total order the
+// serial kernel uses over the same per-shard event set.
+//
+// The barrier between rounds is the only synchronization: shards share no
+// mutable state, outboxes are drained single-threaded, and worker
+// goroutines are released and joined through channels, so rounds are
+// happens-before ordered and the whole construction is race-free.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// Cross-shard seq-key layout. Local events use plain ++seq counters that
+// stay far below 2^48 in practice, so every local key is below crossBit
+// and locals win ties at equal timestamps (matching the serial kernel,
+// where an earlier-scheduled event also wins ties).
+const (
+	crossBit      = uint64(1) << 63 // set on every committed cross-shard event
+	uncountedBit  = uint64(1) << 62 // cross event excluded from Events() parity
+	crossSrcShift = 48              // source shard id, 14 bits
+	crossSeqMask  = (uint64(1) << crossSrcShift) - 1
+)
+
+// postRec is one cross-shard post awaiting commit.
+type postRec struct {
+	at      Time
+	fn      func()
+	counted bool
+}
+
+// Sharded is a domain of engines run concurrently under conservative
+// barrier-epoch synchronization. Build one with NewSharded, attach model
+// state to the per-shard engines (Shard), set the lookahead, then Run.
+type Sharded struct {
+	shards    []*Engine
+	lookahead Duration
+
+	failErr   error // error of the winning (earliest) failure
+	failT     Time
+	failShard int
+}
+
+// NewSharded returns a domain of n fresh engines. n must be >= 1.
+func NewSharded(n int) *Sharded {
+	if n < 1 {
+		panic("sim: NewSharded needs at least one shard")
+	}
+	s := &Sharded{shards: make([]*Engine, n)}
+	for i := range s.shards {
+		e := NewEngine()
+		e.dom = s
+		e.shardID = i
+		e.outbox = make([][]postRec, n)
+		e.windowDone = make(chan struct{}, 1)
+		s.shards[i] = e
+	}
+	return s
+}
+
+// NumShards reports the domain size.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's engine.
+func (s *Sharded) Shard(i int) *Engine { return s.shards[i] }
+
+// SetLookahead declares the minimum cross-shard latency: every Post must
+// target at least this far past the posting shard's clock. Call once,
+// before running. Must be positive for a multi-shard domain to make
+// progress in parallel.
+func (s *Sharded) SetLookahead(d Duration) {
+	if d <= 0 {
+		panic("sim: non-positive shard lookahead")
+	}
+	s.lookahead = d
+}
+
+// Lookahead reports the domain's declared minimum cross-shard latency.
+func (s *Sharded) Lookahead() Duration { return s.lookahead }
+
+// Events reports the total counted events dispatched across all shards.
+// Cross-shard commits scheduled as counted replace exactly one serial
+// event each, and uncounted wrappers replace none, so the total matches
+// the serial kernel's Events() for the same simulation.
+func (s *Sharded) Events() uint64 {
+	var n uint64
+	for _, e := range s.shards {
+		n += e.nEvents
+	}
+	return n
+}
+
+// Err reports the first fatal error recorded by the domain run.
+func (s *Sharded) Err() error { return s.failErr }
+
+// Shutdown unwinds live process goroutines on every shard.
+func (s *Sharded) Shutdown() {
+	for _, e := range s.shards {
+		e.Shutdown()
+	}
+}
+
+// commit drains every outbox into the destination heaps in deterministic
+// (source shard, post order) order and stamps each event with its
+// cross-shard seq key.
+func (s *Sharded) commit() {
+	for src, se := range s.shards {
+		for dst := range se.outbox {
+			box := se.outbox[dst]
+			if len(box) == 0 {
+				continue
+			}
+			de := s.shards[dst]
+			for _, r := range box {
+				se.crossSeq++
+				if se.crossSeq > crossSeqMask {
+					panic("sim: cross-shard seq overflow")
+				}
+				seq := crossBit | uint64(src)<<crossSrcShift | se.crossSeq
+				if !r.counted {
+					seq |= uncountedBit
+				}
+				de.events.push(event{at: r.at, seq: seq, fn: r.fn})
+			}
+			for i := range box {
+				box[i] = postRec{} // release the closures
+			}
+			se.outbox[dst] = box[:0]
+		}
+	}
+}
+
+// noteFail records a shard failure, keeping the lexicographically earliest
+// (time, shard) one: that is the failure a serial run would hit first among
+// the committed histories, and the tiebreak on shard id keeps the choice
+// deterministic when two shards fail at the same timestamp.
+func (s *Sharded) noteFail(sh *Engine, err error) {
+	if err == nil {
+		return
+	}
+	if s.failErr == nil || sh.now < s.failT || (sh.now == s.failT && sh.shardID < s.failShard) {
+		s.failErr, s.failT, s.failShard = err, sh.now, sh.shardID
+	}
+}
+
+// Run executes the domain to completion: every shard's queue drained (or a
+// failure / deadlock reached), with rounds of concurrent windowed
+// execution between outbox commits. On a clean return every shard's clock
+// is advanced to the domain-wide maximum, so a subsequent scheduling phase
+// (e.g. a measured run after a warmup run) starts all shards from the same
+// instant, exactly like the serial kernel's single clock.
+func (s *Sharded) Run() error {
+	n := len(s.shards)
+	if n == 1 {
+		return s.shards[0].Run()
+	}
+	if s.lookahead <= 0 {
+		panic("sim: Sharded.Run without SetLookahead")
+	}
+
+	// Persistent workers, one per shard: each waits for a horizon on its
+	// start channel, runs its shard's window, and signals done. Spawned
+	// lazily on the first multi-active round.
+	start := make([]chan Time, n)
+	var wg sync.WaitGroup
+	workersUp := false
+	startWorkers := func() {
+		for i := range s.shards {
+			start[i] = make(chan Time, 1)
+			wg.Add(1)
+			go func(sh *Engine, in chan Time) {
+				defer wg.Done()
+				for w := range in {
+					sh.runWindow(w)
+					sh.windowDone <- struct{}{}
+				}
+			}(s.shards[i], start[i])
+		}
+		workersUp = true
+	}
+	defer func() {
+		if workersUp {
+			for i := range start {
+				close(start[i])
+			}
+			wg.Wait()
+		}
+	}()
+
+	mins := make([]Time, n)
+	active := make([]*Engine, 0, n)
+	for {
+		s.commit()
+		for _, sh := range s.shards {
+			s.noteFail(sh, sh.takeErr())
+		}
+
+		// Next-event time per live shard; failed shards are final.
+		min1, min2 := units.Forever, units.Forever
+		argmin1 := -1
+		for i, sh := range s.shards {
+			m := units.Forever
+			if sh.err == nil && sh.events.len() > 0 {
+				m = sh.events.ev[0].at
+			}
+			mins[i] = m
+			if m < min1 {
+				min1, min2, argmin1 = m, min1, i
+			} else if m < min2 {
+				min2 = m
+			}
+		}
+		if min1 == units.Forever {
+			break
+		}
+
+		failCut := units.Forever
+		if s.failErr != nil {
+			failCut = s.failT
+		}
+		active = active[:0]
+		for i, sh := range s.shards {
+			others := min1
+			if i == argmin1 {
+				others = min2
+			}
+			w := units.Forever
+			if others != units.Forever {
+				w = others.Add(s.lookahead)
+			}
+			if w > failCut {
+				w = failCut
+			}
+			if mins[i] < w {
+				sh.window = w
+				active = append(active, sh)
+			}
+		}
+		if len(active) == 0 {
+			// Every remaining event sits at or past the failure cut:
+			// nothing below the cut can still run, the failure is final.
+			break
+		}
+		if len(active) == 1 {
+			// The common case on few cores or imbalanced load: run the
+			// lone eligible shard inline, no handoff cost.
+			active[0].runWindow(active[0].window)
+		} else {
+			if !workersUp {
+				startWorkers()
+			}
+			for _, sh := range active {
+				start[sh.shardID] <- sh.window
+			}
+			for _, sh := range active {
+				<-sh.windowDone
+			}
+		}
+	}
+
+	if s.failErr != nil {
+		return s.failErr
+	}
+	// Global quiescence: report deadlock if any shard still has blocked
+	// processes, otherwise synchronize the clocks.
+	var blocked []string
+	var at Time
+	for _, sh := range s.shards {
+		if b := sh.blockedProcs(); len(b) > 0 {
+			blocked = append(blocked, b...)
+			if sh.now > at {
+				at = sh.now
+			}
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		s.failErr = fmt.Errorf("%w at t=%v: %d blocked process(es): %s",
+			ErrDeadlock, at, len(blocked), strings.Join(blocked, "; "))
+		return s.failErr
+	}
+	var maxNow Time
+	for _, sh := range s.shards {
+		if sh.now > maxNow {
+			maxNow = sh.now
+		}
+	}
+	for _, sh := range s.shards {
+		if maxNow > sh.now {
+			sh.now = maxNow
+		}
+	}
+	return nil
+}
+
+// takeErr collects and clears a shard's soft failure (Engine.Fail in
+// sharded mode). Hard errors (panics, event limit) stay on the shard and
+// permanently retire it; they are reported through noteFail as well.
+func (e *Engine) takeErr() error {
+	if e.softErr != nil {
+		err := e.softErr
+		e.softErr = nil
+		// A soft failure retires the shard exactly like a hard error:
+		// every event below its failure time has already run (no post can
+		// target below an executed event's time), so its history is final.
+		if e.err == nil {
+			e.err = err
+		}
+		return err
+	}
+	return e.err
+}
+
+// runWindow dispatches the shard's events with timestamps strictly below
+// the shard's window. It is the sharded analogue of the RunUntil loop: same
+// pop/clock/dispatch sequence, but the clock is never advanced past the
+// last event (the coordinator owns end-of-run clock movement) and
+// cross-shard events carrying the uncounted bit do not increment the event
+// count.
+//
+// The window is re-read from e.window each iteration because post() shrinks
+// it mid-window: the coordinator's horizon only bounds arrivals caused by
+// events already sitting in the other shards' heaps, while a cross-shard
+// post made DURING the window can wake an otherwise-quiescent shard whose
+// transitive replies land as early as the post's target plus one lookahead.
+// Without the shrink, a shard that is the only one holding events runs off
+// to infinity and its replies commit into its past (see post).
+func (e *Engine) runWindow(w Time) {
+	e.window = w
+	for e.events.len() > 0 && e.err == nil && e.softErr == nil {
+		if e.events.ev[0].at >= e.window {
+			return
+		}
+		ev := e.events.pop()
+		if ev.at < e.now {
+			panic(fmt.Sprintf(
+				"sim: shard %d dispatching event at t=%v in its past (now %v): cross-shard lookahead contract violated",
+				e.shardID, ev.at, e.now))
+		}
+		e.now = ev.at
+		if ev.seq&uncountedBit == 0 || ev.seq&crossBit == 0 {
+			e.nEvents++
+			if e.maxEvents > 0 && e.nEvents > e.maxEvents {
+				e.err = fmt.Errorf("%w after %d events at t=%v", ErrEventLimit, e.nEvents, e.now)
+				return
+			}
+		}
+		e.dispatch(ev)
+	}
+}
+
+// ShardID reports this engine's index within its Sharded domain, or 0 for
+// a standalone engine.
+func (e *Engine) ShardID() int { return e.shardID }
+
+// Domain reports the Sharded domain this engine belongs to (nil for a
+// standalone serial engine).
+func (e *Engine) Domain() *Sharded { return e.dom }
+
+// CrossShard reports whether other lives on a different shard of the same
+// domain — i.e. whether work destined for it must go through Post.
+func (e *Engine) CrossShard(other *Engine) bool {
+	return e.dom != nil && other != e
+}
+
+// Post schedules fn to run on dst's shard at absolute time t. On a
+// standalone engine (or when dst is the posting engine) it is exactly At.
+// Across shards the event is buffered in the poster's outbox and committed
+// at the next barrier; t must be at least the domain lookahead past the
+// poster's clock — the conservative-synchronization contract that keeps
+// cross-shard arrivals out of every shard's past.
+func (e *Engine) Post(dst *Engine, t Time, fn func()) { e.post(dst, t, fn, true) }
+
+// PostUncounted is Post for wrapper events that have no counterpart in the
+// serial kernel's event stream: the event runs normally but does not
+// increment the destination's Events() count, keeping the domain-wide
+// total equal to the serial count.
+func (e *Engine) PostUncounted(dst *Engine, t Time, fn func()) { e.post(dst, t, fn, false) }
+
+func (e *Engine) post(dst *Engine, t Time, fn func(), counted bool) {
+	if e.dom == nil || dst == e {
+		e.At(t, fn)
+		return
+	}
+	if dst.dom != e.dom {
+		panic("sim: Post across domains")
+	}
+	if t < e.now.Add(e.dom.lookahead) {
+		panic(fmt.Sprintf("sim: cross-shard post violates lookahead: t=%v now=%v lookahead=%v (shard %d -> %d)",
+			t, e.now, e.dom.lookahead, e.shardID, dst.shardID))
+	}
+	e.outbox[dst.shardID] = append(e.outbox[dst.shardID], postRec{at: t, fn: fn, counted: counted})
+	// Shrink this shard's window: the destination runs the posted event at t
+	// and anything it (transitively) posts back targets >= t + lookahead, so
+	// running past that bound could put replies in this shard's past. The
+	// coordinator's horizon cannot know about this post — it was computed
+	// from the heaps as of the last barrier — hence the dynamic cap. Before
+	// the first round e.window is zero and the cap is a no-op; posts made
+	// then are covered by the first barrier's commit.
+	if lim := t.Add(e.dom.lookahead); e.window > lim {
+		e.window = lim
+	}
+}
