@@ -6,7 +6,7 @@
 GO ?= go
 SHELL := /bin/bash
 
-.PHONY: check vet build test race lint lint-sarif serve-smoke shard-smoke fix-verify bench bench-baseline bench-compare regen trace-demo chaos
+.PHONY: check vet build test race lint lint-sarif serve-smoke shard-smoke fix-verify bench bench-baseline bench-compare regen trace-demo chaos campaign
 
 check: vet build test race lint shard-smoke serve-smoke
 
@@ -129,12 +129,18 @@ regen:
 # pure function of the spec — byte-identical across worker counts — and
 # (b) the surviving-experiment set matches serial exactly. Fault-free
 # byte-identity between serial and sharded is enforced by shard-smoke.
+#
+# Each leg runs under -chaos-strict rather than `|| true`: an experiment
+# the storm deterministically kills (IB retry-budget exhaustion) is a
+# tolerated outcome and the leg still exits 0, but any OTHER failure —
+# a panic, a timeout, a real bug the storm shook loose — fails the
+# target instead of being silently swallowed.
 chaos:
 	rm -rf .chaos-1 .chaos-n .chaos-s .chaos-s1
-	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -jobs 1 -out .chaos-1 >/dev/null || true
-	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -jobs 8 -out .chaos-n >/dev/null || true
-	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -jobs 8 -shards 4 -out .chaos-s >/dev/null || true
-	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -jobs 1 -shards 4 -out .chaos-s1 >/dev/null || true
+	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -chaos-strict -jobs 1 -out .chaos-1 >/dev/null
+	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -chaos-strict -jobs 8 -out .chaos-n >/dev/null
+	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -chaos-strict -jobs 8 -shards 4 -out .chaos-s >/dev/null
+	$(GO) run ./cmd/repro -exp all -quick -faults storm:2026 -retries 2 -chaos-strict -jobs 1 -shards 4 -out .chaos-s1 >/dev/null
 	@ls .chaos-1/*.txt >/dev/null 2>&1 || { echo "chaos: no experiment survived the storm"; exit 1; }
 	diff -ru --exclude='*.json' .chaos-1 .chaos-n
 	diff -ru --exclude='*.json' .chaos-s .chaos-s1
@@ -154,6 +160,20 @@ chaos:
 	done
 	rm -rf .chaos-1 .chaos-n .chaos-s .chaos-s1
 	@echo "chaos: storm:2026 deterministic across worker counts; sharded legs self-deterministic with serial survivor parity"
+
+# campaign runs the behavioral-contract exploration engine
+# (internal/campaign) over a fixed-seed batch of generated scenarios:
+# fault plans × topologies × workloads × protocol thresholds × execution
+# knobs, each checked against the BC-1..BC-9 contract catalog, with
+# violations auto-shrunk to minimal reproducers written into corpus/.
+# Deterministic: the same seed prints the same report digest at any job
+# count. Exits nonzero on any violation. ~1s at the default size; raise
+# CAMPAIGN_N for a deeper sweep.
+CAMPAIGN_N ?= 64
+CAMPAIGN_SEED ?= 2026
+
+campaign:
+	$(GO) run ./cmd/repro -campaign $(CAMPAIGN_N) -campaign-seed $(CAMPAIGN_SEED) -campaign-corpus corpus
 
 # trace-demo produces sample observability artifacts: a counters snapshot
 # and a chrome://tracing (or ui.perfetto.dev) loadable timeline of the

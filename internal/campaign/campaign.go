@@ -1,0 +1,146 @@
+// Package campaign is the property-based exploration engine over the
+// simulator's fault × topology × workload space. A campaign generates a
+// deterministic batch of scenarios from a seed (Generate), runs each
+// through the behavioral-contract check via the shared runner pool, shrinks
+// any violation to a minimal reproducer (shrink), and seals reproducers
+// into a corpus (corpus.go) that the test suite replays forever after.
+//
+// Determinism is load-bearing end to end: the same seed yields the same
+// scenarios, each scenario check runs its own legs serially under fixed
+// simulated time, and the campaign report digest is a pure function of the
+// (seed, count) pair — identical at any worker count (BC-10).
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/runner"
+)
+
+// DefaultSeed is the fixed seed CI and `make campaign` use.
+const DefaultSeed = 2026
+
+// Config parameterizes one campaign.
+type Config struct {
+	// Seed drives scenario generation; 0 means DefaultSeed.
+	Seed uint64
+	// Count is the number of scenarios to generate; <= 0 means 64.
+	Count int
+	// Jobs caps pool concurrency (runner.Pool semantics: <= 0 means
+	// GOMAXPROCS). The report digest is identical at any value.
+	Jobs int
+	// EventBudget bounds each simulation leg; 0 means DefaultEventBudget.
+	EventBudget uint64
+	// ShrinkBudget bounds minimization per violation; 0 means
+	// DefaultShrinkBudget.
+	ShrinkBudget int
+	// Smuggle, when non-empty, is a fault spec installed on every machine
+	// but declared to no contract — the canary knob: the campaign must
+	// catch it as a fault-containment breach. Test-only.
+	Smuggle string
+	// CorpusDir, when non-empty, receives a sealed reproducer file per
+	// shrunk violation.
+	CorpusDir string
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *Config) logf(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Report is the outcome of a campaign.
+type Report struct {
+	Seed       uint64       `json:"seed"`
+	Scenarios  int          `json:"scenarios"`
+	Violations []Reproducer `json:"violations,omitempty"`
+	// Digest is the hex SHA-256 over every scenario's check digest in
+	// generation order — the jobs-invariance observable (BC-10).
+	Digest string `json:"digest"`
+}
+
+// outcome is one scenario's check result, carried through the pool.
+type outcome struct {
+	violations []Violation
+	digest     string
+}
+
+// Run executes a full campaign: generate, check (in parallel, results in
+// submission order), shrink, seal.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
+	}
+	if cfg.Count <= 0 {
+		cfg.Count = 64
+	}
+	scenarios := Generate(cfg.Seed, cfg.Count)
+	cfg.logf("campaign: seed %d, %d scenarios, %d contracts", cfg.Seed, len(scenarios), len(Catalog))
+
+	jobs := make([]runner.Job, len(scenarios))
+	for i := range scenarios {
+		sc := scenarios[i]
+		jobs[i] = runner.Job{
+			ID: sc.Name,
+			Labels: map[string]string{
+				"network":  sc.Network,
+				"workload": sc.Workload,
+			},
+			Run: func(ctx context.Context) (interface{}, error) {
+				vs, digest, err := check(sc, &cfg)
+				if err != nil {
+					return nil, err
+				}
+				return outcome{violations: vs, digest: digest}, nil
+			},
+		}
+	}
+	pool := &runner.Pool{Workers: cfg.Jobs, Name: "campaign"}
+	results := pool.Run(context.Background(), jobs)
+
+	rep := &Report{Seed: cfg.Seed, Scenarios: len(scenarios)}
+	var digests strings.Builder
+	for i := range results {
+		res := &results[i]
+		if res.Err != nil {
+			return nil, fmt.Errorf("campaign: scenario %s: %w", scenarios[i].Name, res.Err)
+		}
+		out := res.Value.(outcome)
+		fmt.Fprintf(&digests, "%s=%s\n", scenarios[i].Name, out.digest)
+		if len(out.violations) == 0 {
+			continue
+		}
+		v0 := out.violations[0]
+		cfg.logf("campaign: %s violates %s (%s); %d violation(s) total, shrinking",
+			scenarios[i].Name, v0.Contract, v0.Name, len(out.violations))
+		min, lineage := shrink(v0.Scenario, v0.Contract, &cfg)
+		detail := v0.Detail
+		if vs, _, err := check(min, &cfg); err == nil {
+			for j := range vs {
+				if vs[j].Contract == v0.Contract {
+					detail = vs[j].Detail
+					break
+				}
+			}
+		}
+		min.Name = scenarios[i].Name + "-min"
+		r := NewReproducer(v0.Contract, detail, min, lineage)
+		rep.Violations = append(rep.Violations, r)
+		if cfg.CorpusDir != "" {
+			path, err := WriteReproducer(cfg.CorpusDir, &r)
+			if err != nil {
+				return nil, err
+			}
+			cfg.logf("campaign: reproducer written to %s", path)
+		}
+	}
+	sum := sha256.Sum256([]byte(digests.String()))
+	rep.Digest = hex.EncodeToString(sum[:])
+	return rep, nil
+}

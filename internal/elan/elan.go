@@ -85,6 +85,10 @@ type Network struct {
 	fab    *fabric.Fabric
 	nics   []*NIC
 	nodeOf func(rank int) int
+
+	// orderProbe, when non-nil, observes sequencer releases (see probe.go).
+	// Serial-only.
+	orderProbe OrderProbe
 }
 
 // NewNetwork equips every fabric node with a NIC. nodeOf maps a global MPI
@@ -274,7 +278,11 @@ func (n *NIC) TxPost(p *sim.Proc, srcRank, dstRank int, env match.Envelope, size
 func (n *NIC) envelopeArrived(msg *envelopeMsg) {
 	pt := n.portOf(msg.dstRank)
 	for _, m := range pt.seq.Submit(msg.env.Src, msg.seq, msg) {
-		n.matchArrival(pt, m.(*envelopeMsg))
+		em := m.(*envelopeMsg)
+		if n.net.orderProbe != nil {
+			n.net.orderProbe(em.env.Src, em.dstRank, em.seq)
+		}
+		n.matchArrival(pt, em)
 	}
 }
 

@@ -1,0 +1,29 @@
+package experiments
+
+// Bridge from campaign scenarios (internal/campaign) to experiment Specs:
+// a shrunk reproducer names a workload class and a fault plan, and the
+// closest registered experiment can replay the same traffic pattern under
+// that plan through the ordinary -exp / job-server path. The mapping is by
+// traffic shape, not fidelity — a campaign scenario is a minimal synthetic
+// workload, the experiment is the paper-scale sweep — so the bridge is a
+// diagnosis aid ("run the full sweep under this plan"), not an equivalence.
+
+import "fmt"
+
+// campaignWorkloads maps a campaign workload class to the registered
+// experiment exercising the same traffic pattern.
+var campaignWorkloads = map[string]string{
+	"pingpong": "fig1a",  // two-rank request/response: ping-pong latency sweep
+	"stream":   "fig1b",  // windowed one-way flood: streaming bandwidth sweep
+	"ring":     "xroute", // all-ranks neighbor traffic across the spine
+}
+
+// CampaignSpec returns the normalized Spec that replays a campaign
+// scenario's workload class under its fault plan at full fidelity.
+func CampaignSpec(workload, faults string) (Spec, error) {
+	id, ok := campaignWorkloads[workload]
+	if !ok {
+		return Spec{}, fmt.Errorf("experiments: no experiment bridges campaign workload %q", workload)
+	}
+	return Spec{Experiment: id, Faults: faults}.Normalized()
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestCampaignSpec(t *testing.T) {
+	cases := []struct {
+		workload, wantExp string
+	}{
+		{"pingpong", "fig1a"},
+		{"stream", "fig1b"},
+		{"ring", "xroute"},
+	}
+	for _, c := range cases {
+		spec, err := CampaignSpec(c.workload, "loss:all:p=0.001")
+		if err != nil {
+			t.Fatalf("CampaignSpec(%q): %v", c.workload, err)
+		}
+		if spec.Experiment != c.wantExp {
+			t.Fatalf("CampaignSpec(%q) -> %s, want %s", c.workload, spec.Experiment, c.wantExp)
+		}
+		if spec.Faults != "loss:all:p=0.001" {
+			t.Fatalf("fault plan not carried: %q", spec.Faults)
+		}
+		if spec.Seed != CanonicalSeed {
+			t.Fatalf("spec not normalized: seed %d", spec.Seed)
+		}
+	}
+	if _, err := CampaignSpec("gossip", ""); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

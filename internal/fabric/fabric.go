@@ -149,6 +149,10 @@ type Fabric struct {
 	faultSeed     uint64
 	faultTimeline [][]FaultStep // per link, time-sorted; sharded mode only
 
+	// probe, when non-nil, receives invariant observations (see probe.go).
+	// Serial-only; installing one pins coalescing off.
+	probe *Probe
+
 	// Observability (nil-safe no-ops when the engine has no registry).
 	mMsgs        *metrics.Counter
 	mBytes       *metrics.Counter
@@ -393,6 +397,7 @@ type msgState struct {
 	f         *Fabric
 	pt        path
 	remaining int
+	size      units.Bytes // payload size, for probe retirement reports
 	done      *sim.Signal
 	// aborted marks a message killed by an unrecovered fault (see
 	// dropMessage): its remaining chunks still drain through the fabric,
@@ -436,11 +441,15 @@ func (ms *msgState) chunkDelivered() {
 	}
 	done := ms.done
 	aborted := ms.aborted
+	size := ms.size
 	ms.done = nil
 	ms.aborted = false
 	ms.eng = nil
 	ms.notify = ms.notify[:0]
 	f.locals[ms.shard].freeMsgs = append(f.locals[ms.shard].freeMsgs, ms)
+	if f.probe != nil {
+		f.probeRetired(size, aborted, f.eng.Now())
+	}
 	if !aborted {
 		done.Fire()
 	}
@@ -533,6 +542,7 @@ func (cs *chunkState) step() {
 			// adaptive choice finds a live spine.
 			local.chunksRetried++
 			f.mRetried.Inc()
+			f.probeStalled(link, cs.ready)
 			if i == pt.upIdx {
 				cs.upSrv, cs.downSrv = nil, nil
 			}
@@ -542,6 +552,7 @@ func (cs *chunkState) step() {
 		}
 		local.chunksLost++
 		f.mLost.Inc()
+		f.probeLost(link, cs.ready)
 		f.dropMessage(cs)
 		return
 	}
@@ -569,6 +580,7 @@ func (cs *chunkState) step() {
 		// is the transport's business.
 		local.chunksLost++
 		f.mLost.Inc()
+		f.probeLost(link, cs.ready)
 		if f.params.HWRetry {
 			local.chunksRetried++
 			f.mRetried.Inc()
@@ -672,6 +684,7 @@ func (f *Fabric) Send(src, dst int, size units.Bytes) *sim.Signal {
 	n, last := f.chunkPlan(size)
 	f.mChunks.Add(uint64(n))
 	ms.remaining = n
+	ms.size = size
 	local.lastMsg, local.lastDone = ms, done
 
 	if f.dom != nil {

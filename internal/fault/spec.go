@@ -8,7 +8,7 @@ package fault
 //	kind    := "down" | "loss" | "degrade"
 //	selector:= "all" | "spine(s)" | "inj(n)" | "ej(n)"
 //	         | "up(l,s)" | "down(s,l)" | "link(k)"
-//	param   := "at=" dur | "for=" dur | "p=" float
+//	param   := "at=" dur | "for=" dur | "until=" dur | "p=" float
 //	         | "bw=" float | "lat=" dur | "seed=" int
 //	dur     := float ("ps"|"ns"|"us"|"ms"|"s")
 //
@@ -20,8 +20,15 @@ package fault
 //	storm:2026                           randomized storm, seed 2026
 //
 // A bare integer is shorthand for storm:<integer>. Defaults: loss p=0.001,
-// degrade bw=0.5, at=0, for=0 (rest of run). A "seed=" param on any clause
-// sets the plan seed feeding the per-link loss streams (default 1).
+// degrade bw=0.5, at=0, for=0 (rest of run). "until=" is the absolute-end
+// alternative to "for=" (the window is [at, until)); giving both, or an
+// until at or before at, is an error. A "seed=" param on any clause sets
+// the plan seed feeding the per-link loss streams (default 1).
+//
+// Parse errors are *ParseError values carrying the clause number and the
+// 1-based column of the offending token, plus a did-you-mean hint when a
+// near-miss kind, selector, or parameter is recognizable — so a typo'd
+// `-faults` flag points at itself rather than at the whole spec.
 
 import (
 	"fmt"
@@ -34,57 +41,126 @@ import (
 	"repro/internal/units"
 )
 
+// ParseError is a positioned fault-spec diagnostic: which clause failed,
+// the 1-based column of the offending token within the original spec, the
+// token itself, what was wrong (including what the grammar accepts there),
+// and — for recognizable typos — a did-you-mean hint.
+type ParseError struct {
+	Spec   string // the full original spec
+	Clause int    // 1-based clause number; 0 for spec-level errors
+	Col    int    // 1-based byte column of the offending token; 0 if unknown
+	Token  string // the offending token
+	Msg    string // the problem, phrased with what would be accepted
+	Hint   string // optional near-miss suggestion, e.g. `"loss"`
+}
+
+func (e *ParseError) Error() string {
+	var b strings.Builder
+	b.WriteString("fault: ")
+	if e.Clause > 0 {
+		fmt.Fprintf(&b, "clause %d", e.Clause)
+		if e.Col > 0 {
+			fmt.Fprintf(&b, " (col %d)", e.Col)
+		}
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Msg)
+	if e.Hint != "" {
+		fmt.Fprintf(&b, " (did you mean %s?)", e.Hint)
+	}
+	return b.String()
+}
+
 // Compile parses a fault spec against a concrete topology and returns the
 // plan it denotes. Selectors are resolved immediately, so an out-of-range
-// selector (e.g. spine(3) on a 2-spine Clos) is a compile error.
+// selector (e.g. spine(3) on a 2-spine Clos) is a compile error. Errors
+// are *ParseError values positioned at the offending token.
 func Compile(spec string, clos *topology.Clos) (*Plan, error) {
-	spec = strings.TrimSpace(spec)
-	if spec == "" {
-		return nil, fmt.Errorf("fault: empty spec")
+	trimmed := strings.TrimSpace(spec)
+	if trimmed == "" {
+		return nil, &ParseError{Spec: spec, Msg: "empty spec: want clauses like loss:all:p=0.001 or storm:<seed>"}
 	}
-	if seedStr, ok := strings.CutPrefix(spec, "storm:"); ok {
+	if seedStr, ok := strings.CutPrefix(trimmed, "storm:"); ok {
 		seed, err := strconv.ParseUint(strings.TrimSpace(seedStr), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("fault: bad storm seed %q", seedStr)
+			return nil, &ParseError{Spec: spec, Token: seedStr,
+				Msg: fmt.Sprintf("bad storm seed %q: want an unsigned integer", seedStr)}
 		}
 		return Random(seed, clos), nil
 	}
-	if seed, err := strconv.ParseUint(spec, 10, 64); err == nil {
+	if seed, err := strconv.ParseUint(trimmed, 10, 64); err == nil {
 		return Random(seed, clos), nil
 	}
 	p := &Plan{Seed: 1}
-	for _, clause := range strings.Split(spec, ";") {
-		clause = strings.TrimSpace(clause)
+	ps := &parser{spec: spec, plan: p, clos: clos}
+	off, num := 0, 0
+	for _, raw := range strings.Split(spec, ";") {
+		base := off + leadingSpace(raw)
+		off += len(raw) + 1
+		clause := strings.TrimSpace(raw)
 		if clause == "" {
 			continue
 		}
-		if err := parseClause(p, clause, clos); err != nil {
+		num++
+		if err := ps.parseClause(clause, num, base); err != nil {
 			return nil, err
 		}
 	}
 	if len(p.Events) == 0 {
-		return nil, fmt.Errorf("fault: spec %q selects no links", spec)
+		return nil, &ParseError{Spec: spec, Msg: fmt.Sprintf("spec %q selects no links", spec)}
 	}
 	return p, nil
 }
 
-func parseClause(p *Plan, clause string, clos *topology.Clos) error {
+func leadingSpace(s string) int {
+	return len(s) - len(strings.TrimLeft(s, " \t"))
+}
+
+// parser carries the spec-wide parse state so every diagnostic can be
+// positioned against the original string.
+type parser struct {
+	spec string
+	plan *Plan
+	clos *topology.Clos
+}
+
+// errf builds a positioned error. base is the 0-based byte offset of the
+// offending token in the spec; hint is the optional did-you-mean text.
+func (ps *parser) errf(clause, base int, token, hint, format string, args ...interface{}) *ParseError {
+	return &ParseError{
+		Spec:   ps.spec,
+		Clause: clause,
+		Col:    base + 1,
+		Token:  token,
+		Msg:    fmt.Sprintf(format, args...),
+		Hint:   hint,
+	}
+}
+
+var (
+	kindNames  = []string{"down", "loss", "degrade"}
+	selNames   = []string{"all", "spine", "inj", "ej", "up", "down", "link"}
+	paramNames = []string{"at", "for", "until", "p", "bw", "lat", "seed"}
+)
+
+// parseClause parses one kind:selector(:param)* clause. num is the 1-based
+// clause number, base the 0-based offset of its first byte in the spec.
+func (ps *parser) parseClause(clause string, num, base int) error {
 	parts := strings.Split(clause, ":")
 	if len(parts) < 2 {
-		return fmt.Errorf("fault: clause %q needs kind:selector", clause)
+		return ps.errf(num, base, clause, "",
+			"clause %q needs kind:selector (e.g. down:spine(0):at=10us:for=200us)", clause)
 	}
-	kind := strings.TrimSpace(parts[0])
-	links, err := parseSelector(strings.TrimSpace(parts[1]), clos)
-	if err != nil {
-		return fmt.Errorf("fault: clause %q: %w", clause, err)
+	// Per-part offsets within the spec, so params point at themselves.
+	offs := make([]int, len(parts))
+	o := base
+	for i, part := range parts {
+		offs[i] = o + leadingSpace(part)
+		o += len(part) + 1
 	}
 
-	var (
-		at          units.Time
-		dur         units.Duration
-		lf          fabric.LinkFault
-		pSet, bwSet bool
-	)
+	kind := strings.TrimSpace(parts[0])
+	var lf fabric.LinkFault
 	switch kind {
 	case "down":
 		lf.Down = true
@@ -93,69 +169,126 @@ func parseClause(p *Plan, clause string, clos *topology.Clos) error {
 	case "degrade":
 		lf.BandwidthScale = 0.5
 	default:
-		return fmt.Errorf("fault: clause %q: unknown kind %q (want down|loss|degrade)", clause, kind)
+		return ps.errf(num, offs[0], kind, suggest(kind, kindNames),
+			"unknown kind %q (want down|loss|degrade)", kind)
 	}
-	for _, param := range parts[2:] {
+
+	links, serr := ps.parseSelector(strings.TrimSpace(parts[1]), num, offs[1])
+	if serr != nil {
+		return serr
+	}
+
+	var (
+		at                        units.Time
+		dur                       units.Duration
+		until                     units.Time
+		pSet, bwSet               bool
+		forSet, untilSet          bool
+		forCol, untilCol, atToken = 0, 0, ""
+	)
+	for pi, param := range parts[2:] {
+		pOff := offs[2+pi]
 		param = strings.TrimSpace(param)
 		key, val, ok := strings.Cut(param, "=")
 		if !ok {
-			return fmt.Errorf("fault: clause %q: parameter %q is not key=value", clause, param)
+			hint := ""
+			if k := suggestPrefix(param, paramNames); k != "" {
+				hint = fmt.Sprintf("%q", k+"="+strings.TrimPrefix(param, k))
+			}
+			return ps.errf(num, pOff, param, hint,
+				"parameter %q is not key=value (want at=|for=|until=|p=|bw=|lat=|seed=)", param)
 		}
 		switch key {
 		case "at":
 			t, err := parseDur(val)
 			if err != nil {
-				return fmt.Errorf("fault: clause %q: %w", clause, err)
+				return ps.errf(num, pOff, val, "", "at=: %v", err)
 			}
-			at = units.Time(t)
+			at, atToken = units.Time(t), param
 		case "for":
 			d, err := parseDur(val)
 			if err != nil {
-				return fmt.Errorf("fault: clause %q: %w", clause, err)
+				return ps.errf(num, pOff, val, "", "for=: %v", err)
 			}
-			dur = d
+			dur, forSet, forCol = d, true, pOff
+		case "until":
+			t, err := parseDur(val)
+			if err != nil {
+				return ps.errf(num, pOff, val, "", "until=: %v", err)
+			}
+			until, untilSet, untilCol = units.Time(t), true, pOff
 		case "p":
 			f, err := strconv.ParseFloat(val, 64)
-			if err != nil || f < 0 || f > 1 {
-				return fmt.Errorf("fault: clause %q: loss probability %q not in [0,1]", clause, val)
+			if err != nil {
+				return ps.errf(num, pOff, val, "",
+					"loss probability %q is not a number: want p in [0,1]", val)
+			}
+			if f < 0 || f > 1 {
+				return ps.errf(num, pOff, val, "",
+					"loss probability %q not in [0,1]", val)
 			}
 			lf.LossProb, pSet = f, true
 		case "bw":
 			f, err := strconv.ParseFloat(val, 64)
-			if err != nil || f <= 0 || f > 1 {
-				return fmt.Errorf("fault: clause %q: bandwidth scale %q not in (0,1]", clause, val)
+			if err != nil {
+				return ps.errf(num, pOff, val, "",
+					"bandwidth scale %q is not a number: want bw in (0,1]", val)
+			}
+			if f <= 0 || f > 1 {
+				return ps.errf(num, pOff, val, "",
+					"bandwidth scale %q not in (0,1]", val)
 			}
 			lf.BandwidthScale, bwSet = f, true
 		case "lat":
 			d, err := parseDur(val)
 			if err != nil {
-				return fmt.Errorf("fault: clause %q: %w", clause, err)
+				return ps.errf(num, pOff, val, "", "lat=: %v", err)
 			}
 			lf.ExtraLatency = d
 		case "seed":
 			s, err := strconv.ParseUint(val, 10, 64)
 			if err != nil {
-				return fmt.Errorf("fault: clause %q: bad seed %q", clause, val)
+				return ps.errf(num, pOff, val, "",
+					"bad seed %q: want an unsigned integer", val)
 			}
-			p.Seed = s
+			ps.plan.Seed = s
 		default:
-			return fmt.Errorf("fault: clause %q: unknown parameter %q", clause, key)
+			return ps.errf(num, pOff, key, suggest(key, paramNames),
+				"unknown parameter %q (want at=|for=|until=|p=|bw=|lat=|seed=)", key)
 		}
 	}
 	if pSet && kind != "loss" {
-		return fmt.Errorf("fault: clause %q: p= only applies to loss", clause)
+		return ps.errf(num, offs[0], kind, "", "p= only applies to loss, not %s", kind)
 	}
 	if bwSet && kind != "degrade" {
-		return fmt.Errorf("fault: clause %q: bw= only applies to degrade", clause)
+		return ps.errf(num, offs[0], kind, "", "bw= only applies to degrade, not %s", kind)
+	}
+	if untilSet {
+		if forSet {
+			return ps.errf(num, max(forCol, untilCol), "until", "",
+				"for= and until= both given: the window end is over-determined")
+		}
+		if until <= at {
+			atDesc := "the default at=0"
+			if atToken != "" {
+				atDesc = atToken
+			}
+			return ps.errf(num, untilCol, "until", "",
+				"reversed window: until=%v is not after its start (%s) — the window [at, until) would be empty",
+				until, atDesc)
+		}
+		dur = until.Sub(at)
 	}
 	for _, l := range links {
-		p.Events = append(p.Events, Event{Link: l, At: at, For: dur, Fault: lf})
+		ps.plan.Events = append(ps.plan.Events, Event{Link: l, At: at, For: dur, Fault: lf})
 	}
 	return nil
 }
 
-// parseSelector resolves one selector to concrete link ids.
-func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
+// parseSelector resolves one selector to concrete link ids. base is the
+// selector token's 0-based offset in the spec.
+func (ps *parser) parseSelector(sel string, num, base int) ([]topology.LinkID, *ParseError) {
+	clos := ps.clos
 	if sel == "all" {
 		out := make([]topology.LinkID, clos.NumLinks())
 		for i := range out {
@@ -163,21 +296,26 @@ func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
 		}
 		return out, nil
 	}
+	fail := func(hint, format string, args ...interface{}) ([]topology.LinkID, *ParseError) {
+		return nil, ps.errf(num, base, sel, hint, format, args...)
+	}
 	name, rest, ok := strings.Cut(sel, "(")
 	if !ok || !strings.HasSuffix(rest, ")") {
-		return nil, fmt.Errorf("unknown selector %q", sel)
+		return fail(suggest(sel, selNames),
+			"unknown selector %q (want all|spine(s)|inj(n)|ej(n)|up(l,s)|down(s,l)|link(k))", sel)
 	}
 	var args []int
 	for _, a := range strings.Split(strings.TrimSuffix(rest, ")"), ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(a))
 		if err != nil {
-			return nil, fmt.Errorf("selector %q: bad index %q", sel, a)
+			return fail("", "selector %q: bad index %q: want an integer", sel, a)
 		}
 		args = append(args, v)
 	}
-	want := func(n int) error {
+	want := func(n int) *ParseError {
 		if len(args) != n {
-			return fmt.Errorf("selector %q: want %d index(es), got %d", sel, n, len(args))
+			return ps.errf(num, base, sel, "",
+				"selector %q: want %d index(es), got %d", sel, n, len(args))
 		}
 		return nil
 	}
@@ -187,7 +325,7 @@ func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
 			return nil, err
 		}
 		if args[0] < 0 || args[0] >= clos.Nodes {
-			return nil, fmt.Errorf("selector %q: node out of range", sel)
+			return fail("", "selector %q: node out of range [0,%d)", sel, clos.Nodes)
 		}
 		return []topology.LinkID{clos.Injection(args[0])}, nil
 	case "ej":
@@ -195,7 +333,7 @@ func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
 			return nil, err
 		}
 		if args[0] < 0 || args[0] >= clos.Nodes {
-			return nil, fmt.Errorf("selector %q: node out of range", sel)
+			return fail("", "selector %q: node out of range [0,%d)", sel, clos.Nodes)
 		}
 		return []topology.LinkID{clos.Ejection(args[0])}, nil
 	case "spine":
@@ -203,7 +341,7 @@ func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
 			return nil, err
 		}
 		if clos.Levels != 2 || args[0] < 0 || args[0] >= clos.Spines {
-			return nil, fmt.Errorf("selector %q: spine out of range (topology has %d)", sel, clos.Spines)
+			return fail("", "selector %q: spine out of range (topology has %d)", sel, clos.Spines)
 		}
 		return clos.SpineLinks(args[0]), nil
 	case "up":
@@ -211,7 +349,8 @@ func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
 			return nil, err
 		}
 		if clos.Levels != 2 || args[0] < 0 || args[0] >= clos.Leaves || args[1] < 0 || args[1] >= clos.Spines {
-			return nil, fmt.Errorf("selector %q: leaf/spine out of range", sel)
+			return fail("", "selector %q: leaf/spine out of range (%d leaves, %d spines)",
+				sel, clos.Leaves, clos.Spines)
 		}
 		return []topology.LinkID{clos.Up(args[0], args[1])}, nil
 	case "down":
@@ -219,7 +358,8 @@ func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
 			return nil, err
 		}
 		if clos.Levels != 2 || args[0] < 0 || args[0] >= clos.Spines || args[1] < 0 || args[1] >= clos.Leaves {
-			return nil, fmt.Errorf("selector %q: spine/leaf out of range", sel)
+			return fail("", "selector %q: spine/leaf out of range (%d spines, %d leaves)",
+				sel, clos.Spines, clos.Leaves)
 		}
 		return []topology.LinkID{clos.Down(args[0], args[1])}, nil
 	case "link":
@@ -227,12 +367,75 @@ func parseSelector(sel string, clos *topology.Clos) ([]topology.LinkID, error) {
 			return nil, err
 		}
 		if args[0] < 0 || args[0] >= clos.NumLinks() {
-			return nil, fmt.Errorf("selector %q: link out of range [0,%d)", sel, clos.NumLinks())
+			return fail("", "selector %q: link out of range [0,%d)", sel, clos.NumLinks())
 		}
 		return []topology.LinkID{topology.LinkID(args[0])}, nil
 	default:
-		return nil, fmt.Errorf("unknown selector %q", sel)
+		return fail(suggest(name, selNames),
+			"unknown selector %q (want all|spine(s)|inj(n)|ej(n)|up(l,s)|down(s,l)|link(k))", sel)
 	}
+}
+
+// suggest returns a quoted near-miss candidate within edit distance 2 of
+// got, or "" when nothing is close enough to be worth proposing.
+func suggest(got string, cands []string) string {
+	best, bestD := "", 3
+	for _, c := range cands {
+		if d := editDistance(got, c); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	if best == "" || best == got {
+		return ""
+	}
+	return fmt.Sprintf("%q", best)
+}
+
+// suggestPrefix returns the candidate got starts with (longest first), for
+// diagnosing a missing "=" as in "at10us".
+func suggestPrefix(got string, cands []string) string {
+	best := ""
+	for _, c := range cands {
+		if strings.HasPrefix(got, c) && len(c) > len(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short ASCII tokens.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // parseDur parses "200us"-style durations (ps, ns, us, ms, s).
@@ -254,8 +457,11 @@ func parseDur(s string) (units.Duration, error) {
 			continue
 		}
 		f, err := strconv.ParseFloat(num, 64)
-		if err != nil || f < 0 {
-			return 0, fmt.Errorf("bad duration %q", s)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q: want <number><unit> like 200us", s)
+		}
+		if f < 0 {
+			return 0, fmt.Errorf("bad duration %q: negative durations are not allowed", s)
 		}
 		return units.Duration(f * float64(u.unit)), nil
 	}

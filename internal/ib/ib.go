@@ -142,6 +142,10 @@ type Network struct {
 	eng  *sim.Engine
 	fab  *fabric.Fabric
 	hcas []*HCA
+
+	// probe, when non-nil, receives RC transport observations (see
+	// probe.go). Serial-only; faulty-branch call sites only.
+	probe *DeliveryProbe
 }
 
 // NewNetwork equips every node of the fabric with an HCA. Each HCA lives
@@ -233,6 +237,10 @@ type HCA struct {
 	// retry-budget exhaustion).
 	Retransmits uint64
 	Timeouts    uint64
+
+	// reqSeq numbers reliable() requests for delivery-probe reports; only
+	// advanced while a probe is installed.
+	reqSeq uint64
 
 	mSends    *metrics.Counter // nil-safe; shared network-wide
 	mRecvs    *metrics.Counter
@@ -330,6 +338,12 @@ func (h *HCA) reliable(kind string, peer, src, dst int, size units.Bytes, send f
 	// Computed only on faulty fabrics: MinLatency walks the chunk
 	// recurrence (O(chunks)), too costly for the fault-free hot path.
 	floor := h.fab.MinLatency(src, dst, size)
+	probe := h.net.probe
+	var req ReqID
+	if probe != nil {
+		h.reqSeq++
+		req = ReqID{Node: h.node, Peer: peer, Kind: kind, Seq: h.reqSeq}
+	}
 	var (
 		sent      bool // requester-side: an attempt has delivered (timers stand down)
 		delivered bool // destination-side: deliver ran (duplicates absorbed)
@@ -342,9 +356,15 @@ func (h *HCA) reliable(kind string, peer, src, dst int, size units.Bytes, send f
 		h.fab.NotifyDelivered(h.eng, func() { sent = true })
 		sig.OnFire(func() {
 			if delivered {
+				if probe != nil && probe.Duplicate != nil {
+					probe.Duplicate(req, n, h.eng.Now())
+				}
 				return // duplicate: a retransmission already delivered
 			}
 			delivered = true
+			if probe != nil && probe.Delivered != nil {
+				probe.Delivered(req, n, h.eng.Now())
+			}
 			deliver()
 		})
 		timeout := h.params.RetransTimeout
@@ -370,6 +390,9 @@ func (h *HCA) reliable(kind string, peer, src, dst int, size units.Bytes, send f
 			}
 			h.Retransmits++
 			h.mRetrans.Inc()
+			if probe != nil && probe.Retransmit != nil {
+				probe.Retransmit(req, n+1, h.eng.Now())
+			}
 			try(n + 1)
 		})
 	}

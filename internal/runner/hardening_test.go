@@ -1,0 +1,161 @@
+package runner
+
+// Hardening-edge coverage: the pure backoff schedule (growth and cap,
+// without sleeping), and Attempts / Failures() labeling when a sweep mixes
+// panicking, timing-out, flaky-then-recovering, and deterministically
+// failing jobs in one storm.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		initial time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		// Default initial (non-positive input): 100ms doubling.
+		{0, 1, 100 * time.Millisecond},
+		{0, 2, 200 * time.Millisecond},
+		{0, 3, 400 * time.Millisecond},
+		{-time.Second, 1, 100 * time.Millisecond},
+		// Explicit initial doubles per attempt.
+		{50 * time.Millisecond, 1, 50 * time.Millisecond},
+		{50 * time.Millisecond, 4, 400 * time.Millisecond},
+		// The cap: growth clips at maxBackoff and stays there.
+		{time.Second, 3, 4 * time.Second},
+		{time.Second, 4, maxBackoff},
+		{time.Second, 10, maxBackoff},
+		// An initial already past the cap is clipped immediately.
+		{time.Minute, 1, maxBackoff},
+		{3 * time.Second, 2, maxBackoff},
+	}
+	for _, c := range cases {
+		if got := backoffDelay(c.initial, c.attempt); got != c.want {
+			t.Errorf("backoffDelay(%v, %d) = %v, want %v", c.initial, c.attempt, got, c.want)
+		}
+	}
+	// Monotone, never above the cap, never zero — over the whole schedule.
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := backoffDelay(100*time.Millisecond, attempt)
+		if d <= 0 || d > maxBackoff {
+			t.Fatalf("attempt %d: delay %v escapes (0, %v]", attempt, d, maxBackoff)
+		}
+		if d < prev {
+			t.Fatalf("attempt %d: delay %v shrank below %v", attempt, d, prev)
+		}
+		prev = d
+	}
+}
+
+// TestMixedStormAttemptsAndFailures runs one pool over a storm of mixed
+// failure modes and pins down, per job: the Attempts count, the final
+// error type, and the Failures() record — in submission order, with the
+// flaky job absent because it ultimately succeeded.
+func TestMixedStormAttemptsAndFailures(t *testing.T) {
+	var flakyRuns, panicRuns atomic.Int64
+	jobs := []Job{
+		{
+			ID:     "always-panics",
+			Labels: map[string]string{"mode": "panic"},
+			Run: func(context.Context) (interface{}, error) {
+				panicRuns.Add(1)
+				panic("storm")
+			},
+		},
+		{
+			ID:      "always-times-out",
+			Labels:  map[string]string{"mode": "timeout"},
+			Timeout: 5 * time.Millisecond,
+			Run: func(ctx context.Context) (interface{}, error) {
+				<-ctx.Done()
+				// Keep blocking past the deadline so the runner's timer, not
+				// this closure, decides the outcome.
+				time.Sleep(50 * time.Millisecond)
+				return nil, ctx.Err()
+			},
+		},
+		{
+			ID:     "flaky-then-fine",
+			Labels: map[string]string{"mode": "flaky"},
+			Run: func(context.Context) (interface{}, error) {
+				if flakyRuns.Add(1) < 3 {
+					panic("transient")
+				}
+				return "ok", nil
+			},
+		},
+		{
+			ID:     "deterministic-error",
+			Labels: map[string]string{"mode": "simerr"},
+			Run: func(context.Context) (interface{}, error) {
+				return nil, errors.New("ib: QP error: retry budget exhausted after 7 retransmissions")
+			},
+		},
+	}
+	pool := &Pool{Workers: 2, Retries: 2, Backoff: time.Millisecond}
+	results := pool.Run(context.Background(), jobs)
+
+	r := results[0] // always-panics: retried to exhaustion
+	var pe *PanicError
+	if !errors.As(r.Err, &pe) || r.Attempts != 3 {
+		t.Fatalf("always-panics: err=%v attempts=%d, want PanicError after 3 attempts", r.Err, r.Attempts)
+	}
+	if got := panicRuns.Load(); got != 3 {
+		t.Fatalf("always-panics ran %d times, want 3 (1 + 2 retries)", got)
+	}
+
+	r = results[1] // always-times-out: retried to exhaustion
+	var te *TimeoutError
+	if !errors.As(r.Err, &te) || r.Attempts != 3 {
+		t.Fatalf("always-times-out: err=%v attempts=%d, want TimeoutError after 3 attempts", r.Err, r.Attempts)
+	}
+
+	r = results[2] // flaky-then-fine: two panics, then success
+	if r.Err != nil || r.Attempts != 3 || r.Value != "ok" {
+		t.Fatalf("flaky-then-fine: err=%v attempts=%d value=%v, want success on attempt 3", r.Err, r.Attempts, r.Value)
+	}
+	if got := flakyRuns.Load(); got != 3 {
+		t.Fatalf("flaky job ran %d times, want 3 (2 panics + recovery)", got)
+	}
+
+	r = results[3] // deterministic error: no retry spent on it
+	if r.Err == nil || r.Attempts != 1 {
+		t.Fatalf("deterministic-error: err=%v attempts=%d, want 1 attempt", r.Err, r.Attempts)
+	}
+
+	fails := Failures(results)
+	if len(fails) != 3 {
+		t.Fatalf("Failures() = %d records, want 3 (the recovered flaky job is not a failure)", len(fails))
+	}
+	wantJobs := []string{"always-panics", "always-times-out", "deterministic-error"}
+	wantAttempts := []int{3, 3, 1}
+	for i, f := range fails {
+		if f.Job != wantJobs[i] || f.Attempts != wantAttempts[i] {
+			t.Fatalf("failure[%d] = {%s attempts=%d}, want {%s attempts=%d}",
+				i, f.Job, f.Attempts, wantJobs[i], wantAttempts[i])
+		}
+		if f.Labels["mode"] == "" {
+			t.Fatalf("failure[%d] lost its labels", i)
+		}
+		if f.Cause == "" {
+			t.Fatalf("failure[%d] has no cause", i)
+		}
+	}
+	// Causes are structurally stable strings (no addresses, no stacks):
+	// the panic failure names the job, the timeout names the limit.
+	if want := fmt.Sprintf("%q", "always-panics"); !strings.Contains(fails[0].Cause, want) {
+		t.Fatalf("panic cause %q does not name the job", fails[0].Cause)
+	}
+	if !strings.Contains(fails[1].Cause, "5ms") {
+		t.Fatalf("timeout cause %q does not name the limit", fails[1].Cause)
+	}
+}

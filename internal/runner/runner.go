@@ -239,25 +239,42 @@ func (p *Pool) runWithRetries(ctx context.Context, job Job) Result {
 	if p.Retries <= 0 {
 		return r
 	}
-	backoff := p.Backoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
-	}
-	const maxBackoff = 5 * time.Second
 	start := time.Now() //simlint:allow wallclock — Wall is diagnostic
 	for attempt := 1; attempt <= p.Retries; attempt++ {
 		if !retryable(r.Err) || ctx.Err() != nil {
 			break
 		}
-		time.Sleep(backoff) //simlint:allow wallclock — retry pacing between host-level failures, never in results
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
+		time.Sleep(backoffDelay(p.Backoff, attempt)) //simlint:allow wallclock — retry pacing between host-level failures, never in results
 		r = p.runJob(ctx, job)
 		r.Attempts = attempt + 1
 	}
 	r.Wall = time.Since(start) //simlint:allow wallclock,timetaint — Wall is diagnostic
 	return r
+}
+
+// maxBackoff caps the exponential retry backoff: past it, waiting longer
+// cannot help a host-level failure, it only starves the sweep.
+const maxBackoff = 5 * time.Second
+
+// backoffDelay is the pure backoff schedule: the sleep before retry
+// attempt n (1-based) given the pool's initial backoff — doubling each
+// attempt, capped at maxBackoff. Non-positive initial means the 100ms
+// default. Pure so the cap and growth are unit-testable without sleeping.
+func backoffDelay(initial time.Duration, attempt int) time.Duration {
+	if initial <= 0 {
+		initial = 100 * time.Millisecond
+	}
+	d := initial
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= maxBackoff {
+			return maxBackoff
+		}
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
 }
 
 // retryable reports whether err is an infrastructure failure worth

@@ -96,6 +96,68 @@ func TestCacheCorruptionIsAMiss(t *testing.T) {
 	}
 }
 
+// TestCacheCorruptionOnReread is the checksum-mismatch-on-REREAD eviction
+// path: an entry that already served a good hit (recency touched, LRU
+// refreshed) is corrupted afterwards — the next Get must still verify,
+// miss, and evict rather than trust its earlier success.
+func TestCacheCorruptionOnReread(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := c.Put(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("first read missed")
+	}
+	path := filepath.Join(dir, key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(string(data), "2.81", "7.77", 1)
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("reread served a corrupted entry that had hit before")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupted entry not evicted on reread: stat err = %v", err)
+	}
+}
+
+// TestCacheUnparsableEntryIsAMiss covers the other load-failure arm: a
+// stored file that is not even JSON (torn write survived a crash, disk
+// garbage) degrades to a miss and is evicted, same as a checksum mismatch.
+func TestCacheUnparsableEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unparsable entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("unparsable entry not evicted: stat err = %v", err)
+	}
+	if err := c.Put(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("healed entry missed")
+	}
+}
+
 // fakeKey builds a syntactically valid (lowercase hex SHA-256) cache
 // key from an integer, so budget tests can mint distinct keys cheaply.
 func fakeKey(i int) string { return fmt.Sprintf("%064x", i) }
